@@ -1,0 +1,54 @@
+// Shared helpers for the experiment benchmarks (bench/ = one binary per
+// experiment of DESIGN.md §3).  Each benchmark runs a *fixed, small* number
+// of full protocol executions per iteration and reports the measured
+// quantities (parallel time, success rate, state counts, ...) as benchmark
+// counters; EXPERIMENTS.md records the resulting tables.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include <cstdint>
+
+#include "core/plurality_protocol.h"
+#include "core/result.h"
+#include "sim/multi_trial.h"
+#include "workload/opinion_distribution.h"
+
+namespace plurality::bench {
+
+/// Aggregate of repeated protocol executions on one instance.
+struct repeated_runs {
+    double mean_parallel_time = 0.0;
+    double success_rate = 0.0;
+    std::size_t trials = 0;
+};
+
+/// Runs `trials` executions of the configured protocol on `dist` and
+/// aggregates correctness and (successful-run) parallel time.
+inline repeated_runs run_repeated(const core::protocol_config& cfg,
+                                  const workload::opinion_distribution& dist, std::size_t trials,
+                                  std::uint64_t base_seed) {
+    const auto summary = sim::run_trials(trials, base_seed, [&](std::uint64_t seed) {
+        const auto r = core::run_to_consensus(cfg, dist, seed);
+        sim::trial_outcome out;
+        out.success = r.correct;
+        out.parallel_time = r.parallel_time;
+        return out;
+    });
+    repeated_runs agg;
+    agg.mean_parallel_time = summary.time_stats.mean;
+    agg.success_rate = summary.success_rate();
+    agg.trials = trials;
+    return agg;
+}
+
+/// Standard counters every experiment row reports.
+inline void report(benchmark::State& state, const repeated_runs& runs) {
+    state.counters["parallel_time"] = runs.mean_parallel_time;
+    state.counters["success_rate"] = runs.success_rate;
+    state.counters["trials"] = static_cast<double>(runs.trials);
+}
+
+}  // namespace plurality::bench

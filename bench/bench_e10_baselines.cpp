@@ -1,0 +1,107 @@
+// E10 — positioning against the baselines (§1): at bias 1 the exact
+// tournament protocol is correct while undecided-state dynamics coin-flips;
+// the always-correct 4-state majority is exact too but pays Θ(n)-ish time at
+// bias 1 (k = 2), which is the cost the paper's w.h.p. protocols avoid.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "baselines/usd_plurality.h"
+#include "bench_common.h"
+#include "majority/stable_four_state.h"
+#include "sim/multi_trial.h"
+#include "sim/simulation.h"
+
+namespace {
+
+using namespace plurality;
+using namespace plurality::bench;
+
+// Bias-1 instances with k opinions; odd population so bias 1 is feasible
+// at k = 2 as well.
+workload::opinion_distribution instance(std::uint32_t k) {
+    return workload::make_bias_one(2049, k);
+}
+
+void BM_ExactTournaments_BiasOne(benchmark::State& state) {
+    const auto k = static_cast<std::uint32_t>(state.range(0));
+    const auto dist = instance(k);
+    const auto cfg = core::protocol_config::make(core::algorithm_mode::ordered, dist.n(), k);
+    for (auto _ : state) {
+        const auto runs = run_repeated(cfg, dist, 10, 0xea000 + k);
+        report(state, runs);
+    }
+}
+BENCHMARK(BM_ExactTournaments_BiasOne)
+    ->Arg(2)
+    ->Arg(5)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Usd_BiasOne(benchmark::State& state) {
+    const auto k = static_cast<std::uint32_t>(state.range(0));
+    const auto dist = instance(k);
+    for (auto _ : state) {
+        const auto summary = sim::run_trials(30, 0xea100 + k, [&](std::uint64_t seed) {
+            const auto r = baselines::run_usd(dist, seed, 8000.0);
+            sim::trial_outcome out;
+            out.success = r.correct;
+            out.parallel_time = r.parallel_time;
+            return out;
+        });
+        state.counters["success_rate"] = summary.success_rate();
+        state.counters["parallel_time"] = summary.time_stats.mean;
+    }
+}
+BENCHMARK(BM_Usd_BiasOne)->Arg(2)->Arg(5)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_Usd_LargeBias(benchmark::State& state) {
+    const auto k = static_cast<std::uint32_t>(state.range(0));
+    const std::uint32_t n = 2049;
+    const auto dist = workload::make_bias_one(n, k, n / 4);
+    for (auto _ : state) {
+        const auto summary = sim::run_trials(10, 0xea200 + k, [&](std::uint64_t seed) {
+            const auto r = baselines::run_usd(dist, seed, 8000.0);
+            sim::trial_outcome out;
+            out.success = r.correct;
+            out.parallel_time = r.parallel_time;
+            return out;
+        });
+        state.counters["success_rate"] = summary.success_rate();
+        state.counters["parallel_time"] = summary.time_stats.mean;
+    }
+}
+BENCHMARK(BM_Usd_LargeBias)->Arg(2)->Arg(5)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+// The stable (always-correct) 4-state exact majority at bias 1: correct by
+// construction but the final cancellation takes Θ(n) expected parallel time.
+void BM_StableFourState_BiasOne(benchmark::State& state) {
+    const auto n = static_cast<std::uint32_t>(state.range(0));
+    using namespace plurality::majority;
+    for (auto _ : state) {
+        const auto summary = sim::run_trials(5, 0xea300 + n, [&](std::uint64_t seed) {
+            auto agents = make_four_state_population(n / 2 + 1, n / 2 - 1);
+            sim::simulation<stable_four_state_protocol> s{stable_four_state_protocol{},
+                                                          std::move(agents), seed};
+            const auto done = [](const auto& sim) { return consensus_reached(sim.agents()); };
+            (void)s.run_until(done, 100000ull * n);
+            sim::trial_outcome out;
+            out.success = consensus_sign(s.agents()) == 1;
+            out.parallel_time = s.parallel_time();
+            return out;
+        });
+        state.counters["success_rate"] = summary.success_rate();
+        state.counters["parallel_time"] = summary.time_stats.mean;
+        state.counters["pt_per_n"] = summary.time_stats.mean / n;
+    }
+}
+BENCHMARK(BM_StableFourState_BiasOne)
+    ->Arg(256)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

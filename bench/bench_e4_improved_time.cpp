@@ -1,0 +1,74 @@
+// E4 — ImprovedAlgorithm runtime (Theorem 2): O(n/x_max·log n + log² n),
+// independent of the number of insignificant opinions.  On dominant+dust
+// workloads the unordered variant pays Θ(k·log n) for the dust while the
+// pruned protocol's runtime stays flat — the paper's headline speedup.
+#include "bench_common.h"
+
+namespace {
+
+using namespace plurality;
+using namespace plurality::bench;
+
+void BM_Improved_Dust(benchmark::State& state) {
+    const std::uint32_t n = 2048;
+    const auto dust = static_cast<std::uint32_t>(state.range(0));
+    const auto dist = workload::make_dominant_plus_dust(n, 0.5, dust);
+    const auto cfg = core::protocol_config::make(core::algorithm_mode::improved, n, dist.k());
+    for (auto _ : state) {
+        const auto runs = run_repeated(cfg, dist, 3, 0xe4000 + dust);
+        report(state, runs);
+        state.counters["k"] = static_cast<double>(dist.k());
+        state.counters["n_over_xmax"] = static_cast<double>(n) / dist.x_max();
+    }
+}
+BENCHMARK(BM_Improved_Dust)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Unordered_Dust(benchmark::State& state) {
+    const std::uint32_t n = 2048;
+    const auto dust = static_cast<std::uint32_t>(state.range(0));
+    const auto dist = workload::make_dominant_plus_dust(n, 0.5, dust);
+    const auto cfg = core::protocol_config::make(core::algorithm_mode::unordered, n, dist.k());
+    for (auto _ : state) {
+        const auto runs = run_repeated(cfg, dist, 2, 0xe4500 + dust);
+        report(state, runs);
+        state.counters["k"] = static_cast<double>(dist.k());
+    }
+}
+BENCHMARK(BM_Unordered_Dust)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+// Runtime as a function of the plurality's weight: heavier plurality =>
+// fewer significant opinions => fewer tournaments.
+void BM_Improved_XmaxFraction(benchmark::State& state) {
+    const std::uint32_t n = 2048;
+    const double fraction = static_cast<double>(state.range(0)) / 100.0;
+    const auto dist = workload::make_dominant_plus_dust(n, fraction, 12);
+    const auto cfg = core::protocol_config::make(core::algorithm_mode::improved, n, dist.k());
+    for (auto _ : state) {
+        const auto runs = run_repeated(cfg, dist, 3, 0xe4900 + state.range(0));
+        report(state, runs);
+        state.counters["n_over_xmax"] = static_cast<double>(n) / dist.x_max();
+    }
+}
+BENCHMARK(BM_Improved_XmaxFraction)
+    ->Arg(30)
+    ->Arg(50)
+    ->Arg(70)
+    ->Arg(90)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// E9 — the "small chance of failure" itself: the failure probability of
+// SimpleAlgorithm at bias 1 shrinks as n grows (the w.h.p. guarantee), and
+// ablating the phase-length constant Ψ shows why the Θ(log n) phases are
+// needed: too-short phases break the synchronization assumptions and the
+// failure rate jumps.
+#include "bench_common.h"
+
+namespace {
+
+using namespace plurality;
+using namespace plurality::bench;
+
+void BM_FailureRate_N(benchmark::State& state) {
+    const auto n = static_cast<std::uint32_t>(state.range(0));
+    const std::uint32_t k = 3;
+    const auto cfg = core::protocol_config::make(core::algorithm_mode::ordered, n, k);
+    const auto dist = workload::make_bias_one(n, k);
+    for (auto _ : state) {
+        const auto runs = run_repeated(cfg, dist, 20, 0xe9000 + n);
+        report(state, runs);
+        state.counters["failure_rate"] = 1.0 - runs.success_rate;
+    }
+}
+BENCHMARK(BM_FailureRate_N)
+    ->Arg(256)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Arg(2048)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+// Ablation: phase length Ψ = psi_factor · ⌈log2 n⌉.  The default is 4; the
+// paper's analysis needs phases long enough for broadcasts, load balancing
+// and the match to complete w.h.p.
+void BM_PsiAblation(benchmark::State& state) {
+    const std::uint32_t n = 1024;
+    const std::uint32_t k = 4;
+    const auto psi_factor = static_cast<std::uint32_t>(state.range(0));
+    core::protocol_config cfg;
+    cfg.mode = core::algorithm_mode::ordered;
+    cfg.n = n;
+    cfg.k = k;
+    cfg.psi_factor = psi_factor;
+    cfg.finalize();
+    const auto dist = workload::make_bias_one(n, k);
+    for (auto _ : state) {
+        const auto runs = run_repeated(cfg, dist, 12, 0xe9500 + psi_factor);
+        report(state, runs);
+        state.counters["psi"] = static_cast<double>(cfg.psi);
+        state.counters["failure_rate"] = 1.0 - runs.success_rate;
+    }
+}
+BENCHMARK(BM_PsiAblation)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(6)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+// Ablation: token cap (the paper's constant 10).  A larger cap compresses
+// more tokens into fewer collectors; a smaller one slows initialization.
+void BM_TokenCapAblation(benchmark::State& state) {
+    const std::uint32_t n = 1024;
+    const std::uint32_t k = 4;
+    const auto cap = static_cast<std::uint32_t>(state.range(0));
+    core::protocol_config cfg;
+    cfg.mode = core::algorithm_mode::ordered;
+    cfg.n = n;
+    cfg.k = k;
+    cfg.token_cap = cap;
+    cfg.finalize();
+    const auto dist = workload::make_bias_one(n, k);
+    for (auto _ : state) {
+        const auto runs = run_repeated(cfg, dist, 8, 0xe9900 + cap);
+        report(state, runs);
+        state.counters["token_cap"] = static_cast<double>(cap);
+    }
+}
+BENCHMARK(BM_TokenCapAblation)
+    ->Arg(4)
+    ->Arg(10)
+    ->Arg(20)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

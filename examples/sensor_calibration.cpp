@@ -1,0 +1,60 @@
+// Sensor-network scenario: thousands of cheap sensors must agree on which of
+// a handful of calibration references is (most often) the correct one.
+//
+// Sensors communicate opportunistically in random pairs (gossip), have a few
+// bytes of state, and readings are so noisy that the margin between the true
+// reference and the runner-up can be a single sensor.  This is exactly the
+// population-protocol plurality problem:
+//
+//  * the *approximate* undecided-state dynamics is cheap but flips a coin at
+//    margin 1,
+//  * the paper's exact protocol gets it right w.h.p. even at margin 1.
+//
+// The example runs both on the same instance and prints the comparison.
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/usd_plurality.h"
+#include "core/plurality_protocol.h"
+#include "core/result.h"
+#include "workload/opinion_distribution.h"
+
+int main(int argc, char** argv) {
+    using namespace plurality;
+
+    const std::uint32_t sensors = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 2048;
+    const std::uint32_t references = 5;
+    const std::uint64_t trials = 8;
+
+    // Readings split almost evenly across the references; reference 1 truly
+    // leads, but only by a single sensor.
+    const auto dist = workload::make_bias_one(sensors + 1, references);
+    std::printf("=== sensor calibration vote: %u sensors, %u references, margin %u ===\n",
+                dist.n(), references, dist.bias());
+
+    const auto cfg = core::protocol_config::make(core::algorithm_mode::ordered, dist.n(),
+                                                 references);
+
+    std::size_t exact_correct = 0;
+    std::size_t usd_correct = 0;
+    double exact_time = 0.0;
+    double usd_time = 0.0;
+    for (std::uint64_t seed = 0; seed < trials; ++seed) {
+        const auto exact = core::run_to_consensus(cfg, dist, seed);
+        if (exact.correct) ++exact_correct;
+        exact_time += exact.parallel_time;
+
+        const auto usd = baselines::run_usd(dist, seed, 4000.0);
+        if (usd.correct) ++usd_correct;
+        usd_time += usd.parallel_time;
+    }
+
+    std::printf("\n%-34s %-12s %s\n", "protocol", "correct", "avg parallel time");
+    std::printf("%-34s %zu/%llu        %8.0f\n", "exact tournaments (this paper)", exact_correct,
+                static_cast<unsigned long long>(trials), exact_time / static_cast<double>(trials));
+    std::printf("%-34s %zu/%llu        %8.0f\n", "undecided-state dynamics (approx)", usd_correct,
+                static_cast<unsigned long long>(trials), usd_time / static_cast<double>(trials));
+    std::printf("\nAt margin 1 the approximate dynamics is a coin flip; the exact protocol\n"
+                "pays a polylog factor in time to get the answer right w.h.p.\n");
+    return 0;
+}

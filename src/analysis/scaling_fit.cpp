@@ -1,0 +1,70 @@
+#include "analysis/scaling_fit.h"
+
+#include <cmath>
+#include <vector>
+
+namespace plurality::analysis {
+
+line_fit fit_line(std::span<const double> x, std::span<const double> y) {
+    line_fit fit;
+    const std::size_t n = std::min(x.size(), y.size());
+    if (n < 2) return fit;
+
+    double sx = 0.0;
+    double sy = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        sx += x[i];
+        sy += y[i];
+    }
+    const double mx = sx / static_cast<double>(n);
+    const double my = sy / static_cast<double>(n);
+
+    double sxx = 0.0;
+    double sxy = 0.0;
+    double syy = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double dx = x[i] - mx;
+        const double dy = y[i] - my;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    if (sxx == 0.0) return fit;
+
+    fit.slope = sxy / sxx;
+    fit.intercept = my - fit.slope * mx;
+    fit.r_squared = syy == 0.0 ? 1.0 : (sxy * sxy) / (sxx * syy);
+    return fit;
+}
+
+line_fit fit_power_law(std::span<const double> x, std::span<const double> y) {
+    std::vector<double> lx;
+    std::vector<double> ly;
+    lx.reserve(x.size());
+    ly.reserve(y.size());
+    const std::size_t n = std::min(x.size(), y.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        if (x[i] <= 0.0 || y[i] <= 0.0) continue;
+        lx.push_back(std::log2(x[i]));
+        ly.push_back(std::log2(y[i]));
+    }
+    line_fit fit = fit_line(lx, ly);
+    fit.intercept = std::exp2(fit.intercept);  // the constant c of y = c*x^e
+    return fit;
+}
+
+line_fit fit_logarithmic(std::span<const double> x, std::span<const double> y) {
+    std::vector<double> lx;
+    std::vector<double> yy;
+    lx.reserve(x.size());
+    yy.reserve(y.size());
+    const std::size_t n = std::min(x.size(), y.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        if (x[i] <= 0.0) continue;
+        lx.push_back(std::log2(x[i]));
+        yy.push_back(y[i]);
+    }
+    return fit_line(lx, yy);
+}
+
+}  // namespace plurality::analysis

@@ -1,0 +1,27 @@
+// Least-squares fits used to verify asymptotic *shapes*: the experiments
+// check that measured runtimes scale like the paper's bounds (e.g. linear in
+// k, logarithmic in n), not that absolute constants match.
+#pragma once
+
+#include <span>
+
+namespace plurality::analysis {
+
+/// Result of an ordinary least-squares line fit y ≈ slope·x + intercept.
+struct line_fit {
+    double slope = 0.0;
+    double intercept = 0.0;
+    double r_squared = 0.0;
+};
+
+/// Fits a straight line through (x, y) pairs.  Requires >= 2 points.
+[[nodiscard]] line_fit fit_line(std::span<const double> x, std::span<const double> y);
+
+/// Fits y ≈ c·x^e by a line fit in log-log space and reports the exponent e.
+/// All inputs must be positive.
+[[nodiscard]] line_fit fit_power_law(std::span<const double> x, std::span<const double> y);
+
+/// Fits y ≈ a + b·log2(x); reports b as `slope`.  Inputs must be positive.
+[[nodiscard]] line_fit fit_logarithmic(std::span<const double> x, std::span<const double> y);
+
+}  // namespace plurality::analysis

@@ -1,0 +1,82 @@
+#include "analysis/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace plurality::analysis {
+
+summary_stats summarize(std::span<const double> values) {
+    summary_stats s;
+    s.count = values.size();
+    if (values.empty()) return s;
+
+    double sum = 0.0;
+    s.min = values.front();
+    s.max = values.front();
+    for (double v : values) {
+        sum += v;
+        s.min = std::min(s.min, v);
+        s.max = std::max(s.max, v);
+    }
+    s.mean = sum / static_cast<double>(values.size());
+
+    if (values.size() > 1) {
+        double sq = 0.0;
+        for (double v : values) {
+            const double d = v - s.mean;
+            sq += d * d;
+        }
+        s.stddev = std::sqrt(sq / static_cast<double>(values.size() - 1));
+    }
+    s.median = percentile(values, 0.5);
+    return s;
+}
+
+double percentile(std::span<const double> values, double p) {
+    std::vector<double> sorted(values.begin(), values.end());
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.size() == 1) return sorted.front();
+    p = std::clamp(p, 0.0, 1.0);
+    const double rank = p * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+proportion_interval wilson_interval(std::size_t successes, std::size_t trials) {
+    proportion_interval iv;
+    if (trials == 0) return iv;
+    constexpr double z = 1.96;
+    const double n = static_cast<double>(trials);
+    const double p = static_cast<double>(successes) / n;
+    iv.estimate = p;
+    const double z2 = z * z;
+    const double denom = 1.0 + z2 / n;
+    const double center = (p + z2 / (2.0 * n)) / denom;
+    const double half = z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+    iv.low = std::max(0.0, center - half);
+    iv.high = std::min(1.0, center + half);
+    return iv;
+}
+
+double chi_square_uniform(std::span<const std::uint64_t> observed) {
+    if (observed.empty()) return 0.0;
+    std::uint64_t total = 0;
+    for (auto c : observed) total += c;
+    const double expected = static_cast<double>(total) / static_cast<double>(observed.size());
+    if (expected == 0.0) return 0.0;
+    double chi2 = 0.0;
+    for (auto c : observed) {
+        const double d = static_cast<double>(c) - expected;
+        chi2 += d * d / expected;
+    }
+    return chi2;
+}
+
+void accumulator::add(double value) { values_.push_back(value); }
+
+summary_stats accumulator::summary() const { return summarize(values_); }
+
+}  // namespace plurality::analysis

@@ -1,0 +1,56 @@
+// Small statistics toolkit used by tests and the experiment harness:
+// summary statistics, percentiles, and binomial confidence intervals.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace plurality::analysis {
+
+/// Five-number-plus summary of a sample.
+struct summary_stats {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+    double min = 0.0;
+    double max = 0.0;
+    double median = 0.0;
+};
+
+/// Computes summary statistics of `values`.  An empty sample yields an
+/// all-zero summary.
+[[nodiscard]] summary_stats summarize(std::span<const double> values);
+
+/// p-th percentile (p in [0,1]) by linear interpolation between order
+/// statistics.  Requires a non-empty sample.
+[[nodiscard]] double percentile(std::span<const double> values, double p);
+
+/// Wilson score interval for a binomial proportion at ~95% confidence.
+struct proportion_interval {
+    double estimate = 0.0;
+    double low = 0.0;
+    double high = 0.0;
+};
+
+/// Wilson interval for `successes` out of `trials` (z = 1.96).
+[[nodiscard]] proportion_interval wilson_interval(std::size_t successes, std::size_t trials);
+
+/// Pearson chi-square statistic for observed counts against uniform
+/// expectation.  Used by scheduler-uniformity tests.
+[[nodiscard]] double chi_square_uniform(std::span<const std::uint64_t> observed);
+
+/// Running accumulator when sample values arrive one at a time.
+class accumulator {
+public:
+    void add(double value);
+    [[nodiscard]] summary_stats summary() const;
+    [[nodiscard]] std::span<const double> values() const noexcept { return values_; }
+    [[nodiscard]] std::size_t count() const noexcept { return values_.size(); }
+
+private:
+    std::vector<double> values_;
+};
+
+}  // namespace plurality::analysis

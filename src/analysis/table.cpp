@@ -1,0 +1,80 @@
+#include "analysis/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+namespace plurality::analysis {
+
+markdown_table::markdown_table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void markdown_table::add_row(std::vector<std::string> cells) {
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void markdown_table::print(std::ostream& os) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+
+    const auto emit_row = [&](const std::vector<std::string>& cells) {
+        os << '|';
+        for (std::size_t c = 0; c < headers_.size(); ++c) {
+            const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+            os << ' ' << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+        }
+        os << '\n';
+    };
+
+    emit_row(headers_);
+    os << '|';
+    for (std::size_t c = 0; c < headers_.size(); ++c) os << std::string(widths[c] + 2, '-') << '|';
+    os << '\n';
+    for (const auto& row : rows_) emit_row(row);
+}
+
+std::string markdown_table::to_string() const {
+    std::ostringstream oss;
+    print(oss);
+    return oss.str();
+}
+
+std::string fmt_fixed(double value, int digits) {
+    std::ostringstream oss;
+    oss.setf(std::ios::fixed);
+    oss.precision(digits);
+    oss << value;
+    return oss.str();
+}
+
+std::string fmt_compact(double value) {
+    const double mag = std::fabs(value);
+    std::ostringstream oss;
+    if (mag != 0.0 && (mag >= 1e6 || mag < 1e-3)) {
+        oss.setf(std::ios::scientific);
+        oss.precision(2);
+    } else {
+        oss.setf(std::ios::fixed);
+        oss.precision(mag >= 100 ? 1 : 3);
+    }
+    oss << value;
+    return oss.str();
+}
+
+std::string fmt_rate(std::size_t successes, std::size_t trials) {
+    std::ostringstream oss;
+    oss << successes << '/' << trials;
+    if (trials > 0) {
+        oss.setf(std::ios::fixed);
+        oss.precision(1);
+        oss << " (" << 100.0 * static_cast<double>(successes) / static_cast<double>(trials)
+            << "%)";
+    }
+    return oss.str();
+}
+
+}  // namespace plurality::analysis

@@ -1,0 +1,47 @@
+#include "baselines/usd_plurality.h"
+
+#include "sim/simulation.h"
+
+namespace plurality::baselines {
+
+bool consensus_reached(std::span<const usd_agent> agents) noexcept {
+    return consensus_opinion(agents) != 0;
+}
+
+std::uint32_t consensus_opinion(std::span<const usd_agent> agents) noexcept {
+    if (agents.empty()) return 0;
+    const std::uint32_t first = agents.front().opinion;
+    if (first == 0) return 0;
+    for (const auto& a : agents)
+        if (a.opinion != first) return 0;
+    return first;
+}
+
+std::vector<usd_agent> make_usd_population(const workload::opinion_distribution& dist,
+                                           sim::rng& gen) {
+    const auto opinions = dist.agent_opinions(gen);
+    std::vector<usd_agent> agents(opinions.size());
+    for (std::size_t i = 0; i < agents.size(); ++i) agents[i].opinion = opinions[i];
+    return agents;
+}
+
+usd_result run_usd(const workload::opinion_distribution& dist, std::uint64_t seed,
+                   double time_budget) {
+    sim::rng setup_gen(sim::derive_seed(seed, 0x05d0ull));
+    auto population = make_usd_population(dist, setup_gen);
+    sim::simulation<usd_plurality_protocol> simulation{
+        usd_plurality_protocol{}, std::move(population), sim::derive_seed(seed, 0x05d1ull)};
+
+    const auto budget = static_cast<std::uint64_t>(time_budget * static_cast<double>(dist.n()));
+    const auto done = [](const auto& s) { return consensus_reached(s.agents()); };
+    const auto finished = simulation.run_until(done, budget);
+
+    usd_result result;
+    result.converged = finished.has_value();
+    result.winner_opinion = consensus_opinion(simulation.agents());
+    result.correct = result.converged && result.winner_opinion == dist.plurality_opinion();
+    result.parallel_time = simulation.parallel_time();
+    return result;
+}
+
+}  // namespace plurality::baselines

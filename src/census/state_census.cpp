@@ -1,0 +1,5 @@
+#include "census/state_census.h"
+
+// Header-only functionality; translation unit kept so the module archives
+// into the library like its siblings.
+namespace plurality::census {}

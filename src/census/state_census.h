@@ -1,0 +1,50 @@
+// Measuring how many distinct states a protocol actually uses.
+//
+// The paper's central quantitative trade-off is state complexity:
+// Ω(k²) states for always-correct plurality [29] versus O(k + log n) /
+// O(k·log log n + log n) for the w.h.p. protocols (Theorems 1 and 2).
+// Experiment E2 verifies those bounds empirically: each agent's live
+// variables are packed into a canonical 64-bit code (exactly the role-split
+// accounting of §3.4 / Figure 1 — a role only contributes the variables it
+// actually keeps track of), and this module counts the distinct codes seen
+// over a whole run.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+namespace plurality::census {
+
+/// Accumulates canonical state codes and reports the number of distinct
+/// ones.  Observation is idempotent, so callers can sample as densely as
+/// they like.
+class state_census {
+public:
+    void observe(std::uint64_t canonical_state) { seen_.insert(canonical_state); }
+
+    [[nodiscard]] std::size_t distinct() const noexcept { return seen_.size(); }
+    void clear() noexcept { seen_.clear(); }
+
+private:
+    std::unordered_set<std::uint64_t> seen_;
+};
+
+/// Helper for building canonical codes: appends `value` (< `cardinality`)
+/// into the running mixed-radix code.  Keeping every field's cardinality
+/// explicit makes the packing collision-free by construction.
+class state_packer {
+public:
+    state_packer& field(std::uint64_t value, std::uint64_t cardinality) {
+        code_ = code_ * cardinality + (value < cardinality ? value : cardinality - 1);
+        return *this;
+    }
+
+    state_packer& flag(bool value) { return field(value ? 1 : 0, 2); }
+
+    [[nodiscard]] std::uint64_t code() const noexcept { return code_; }
+
+private:
+    std::uint64_t code_ = 0;
+};
+
+}  // namespace plurality::census

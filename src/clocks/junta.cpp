@@ -1,0 +1,19 @@
+#include "clocks/junta.h"
+
+namespace plurality::clocks {
+
+std::size_t junta_size(std::span<const junta_agent> agents) noexcept {
+    std::size_t count = 0;
+    for (const auto& a : agents)
+        if (a.junta.member) ++count;
+    return count;
+}
+
+std::size_t active_count(std::span<const junta_agent> agents) noexcept {
+    std::size_t count = 0;
+    for (const auto& a : agents)
+        if (a.junta.active) ++count;
+    return count;
+}
+
+}  // namespace plurality::clocks

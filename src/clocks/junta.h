@@ -1,0 +1,83 @@
+// FormJunta — the junta-election process of Berenbrink, Elsässer,
+// Friedetzky, Kaaser, Kling and Radzik (Distributed Computing 2021, [11]),
+// as described in the paper's §4:
+//
+//   Agents progress through levels.  They are initially active, and they
+//   remain active and increase their level as long as they interact (as
+//   initiators) with another agent on the same or on a higher level.  If
+//   they initiate an interaction with another agent on a lower level, they
+//   become inactive.  Agents also become inactive when they hit the maximum
+//   level ℓmax; all agents that reach ℓmax form the junta.
+//
+// The paper runs this with ℓmax = ⌊log log n⌋ − 3 on a full population and
+// ℓmax = ⌊log log n⌋ − 2 on opinion subpopulations (Claim 8).  As with the
+// leaderless clock, the rule is exposed as a free function over a small
+// state struct so the core protocol can embed it for meaningful-interaction
+// (same-opinion) use.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "sim/rng.h"
+#include "util/math.h"
+
+namespace plurality::clocks {
+
+/// Per-agent junta-election state.
+struct junta_state {
+    std::uint8_t level = 0;
+    bool active = true;
+    bool member = false;  ///< reached ℓmax: part of the junta
+};
+
+/// Applies one FormJunta step for `initiator` observing `responder`'s level.
+/// Only the initiator changes state.  Call only for interactions that are
+/// "meaningful" in the caller's sense (same opinion, for subpopulations).
+///
+/// Level 0 is special-cased as in [11] (the paper's footnote 3): a level-0
+/// agent only advances while its partner is *also* still at level 0.  Under
+/// the plain same-or-higher rule every agent's first initiation would reach
+/// level 1 and the bottom level could never thin out.
+constexpr void junta_step(junta_state& initiator, const junta_state& responder,
+                          std::uint32_t max_level) noexcept {
+    if (!initiator.active) return;
+    const bool advance = initiator.level == 0 ? responder.level == 0
+                                              : responder.level >= initiator.level;
+    if (advance) {
+        ++initiator.level;
+        if (initiator.level >= max_level) {
+            initiator.level = static_cast<std::uint8_t>(max_level);
+            initiator.member = true;
+            initiator.active = false;
+        }
+    } else {
+        initiator.active = false;
+    }
+}
+
+/// Standalone protocol wrapper (whole population = one subpopulation).
+struct junta_agent {
+    junta_state junta;
+};
+
+class form_junta_protocol {
+public:
+    using agent_t = junta_agent;
+
+    explicit form_junta_protocol(std::uint32_t max_level) : max_level_(max_level) {}
+
+    void interact(agent_t& initiator, agent_t& responder, sim::rng&) const noexcept {
+        junta_step(initiator.junta, responder.junta, max_level_);
+    }
+
+    [[nodiscard]] std::uint32_t max_level() const noexcept { return max_level_; }
+
+private:
+    std::uint32_t max_level_;
+};
+
+[[nodiscard]] std::size_t junta_size(std::span<const junta_agent> agents) noexcept;
+[[nodiscard]] std::size_t active_count(std::span<const junta_agent> agents) noexcept;
+
+}  // namespace plurality::clocks

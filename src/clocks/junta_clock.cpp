@@ -1,0 +1,19 @@
+#include "clocks/junta_clock.h"
+
+#include <algorithm>
+
+namespace plurality::clocks {
+
+std::uint32_t min_hours(std::span<const junta_clock_agent> agents) noexcept {
+    std::uint32_t lo = ~0u;
+    for (const auto& a : agents) lo = std::min(lo, a.hours);
+    return agents.empty() ? 0 : lo;
+}
+
+std::uint32_t max_hours(std::span<const junta_clock_agent> agents) noexcept {
+    std::uint32_t hi = 0;
+    for (const auto& a : agents) hi = std::max(hi, a.hours);
+    return hi;
+}
+
+}  // namespace plurality::clocks

@@ -1,0 +1,86 @@
+// The junta-driven phase clock of [11] as used in the paper's §4.
+//
+// After the junta is elected, every agent carries a phase counter p.  When a
+// junta agent u initiates an interaction with v it sets
+// p[u] = max(p[u], p[v] + 1); a non-junta initiator sets
+// p[u] = max(p[u], p[v]).  An agent "passes through zero for the i-th time"
+// ("reaches hour i") when ⌊p[u]/m⌋ >= i first holds, for a fitting constant
+// m.  The junta injects progress; the max spreads epidemically, so one hour
+// takes Θ(log x) parallel time on a subpopulation of size x.
+//
+// The paper only ever needs a constant number of hours (the pruning constant
+// c), so the counter saturates at m·hour_cap — keeping the state space at
+// O(levels + m·hour_cap) = O(log log n) as Theorem 2 requires.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "clocks/junta.h"
+#include "sim/rng.h"
+
+namespace plurality::clocks {
+
+/// Per-agent phase-counter state.
+struct junta_clock_state {
+    std::uint32_t p = 0;
+};
+
+/// Applies one clock step for `initiator` observing `responder`.  Returns
+/// the number of *new hours* the initiator completed (usually 0 or 1, but a
+/// large max-jump can cross several hour boundaries at once).
+[[nodiscard]] constexpr std::uint32_t junta_clock_step(junta_clock_state& initiator,
+                                                       const junta_clock_state& responder,
+                                                       bool initiator_is_junta,
+                                                       std::uint32_t hour_length,
+                                                       std::uint32_t hour_cap) noexcept {
+    const std::uint32_t cap = hour_length * hour_cap;
+    std::uint32_t updated = responder.p + (initiator_is_junta ? 1u : 0u);
+    if (updated < initiator.p) updated = initiator.p;
+    if (updated > cap) updated = cap;
+    const std::uint32_t hours_before = initiator.p / hour_length;
+    const std::uint32_t hours_after = updated / hour_length;
+    initiator.p = updated;
+    return hours_after - hours_before;
+}
+
+/// Standalone wrapper combining FormJunta and the phase clock, i.e. the full
+/// §4 preprocessing pipeline for one (sub)population.  Junta election and
+/// clock run concurrently, exactly as in Algorithm 5.
+struct junta_clock_agent {
+    junta_state junta;
+    junta_clock_state clock;
+    std::uint32_t hours = 0;  ///< completed hours ("passes through zero")
+};
+
+class junta_clock_protocol {
+public:
+    using agent_t = junta_clock_agent;
+
+    junta_clock_protocol(std::uint32_t max_level, std::uint32_t hour_length,
+                         std::uint32_t hour_cap)
+        : max_level_(max_level), hour_length_(hour_length), hour_cap_(hour_cap) {}
+
+    void interact(agent_t& initiator, agent_t& responder, sim::rng&) const noexcept {
+        junta_step(initiator.junta, responder.junta, max_level_);
+        const std::uint32_t new_hours = junta_clock_step(
+            initiator.clock, responder.clock, initiator.junta.member, hour_length_, hour_cap_);
+        initiator.hours += new_hours;
+    }
+
+    [[nodiscard]] std::uint32_t hour_length() const noexcept { return hour_length_; }
+    [[nodiscard]] std::uint32_t hour_cap() const noexcept { return hour_cap_; }
+
+private:
+    std::uint32_t max_level_;
+    std::uint32_t hour_length_;
+    std::uint32_t hour_cap_;
+};
+
+/// Smallest number of completed hours over the population.
+[[nodiscard]] std::uint32_t min_hours(std::span<const junta_clock_agent> agents) noexcept;
+
+/// Largest number of completed hours over the population.
+[[nodiscard]] std::uint32_t max_hours(std::span<const junta_clock_agent> agents) noexcept;
+
+}  // namespace plurality::clocks

@@ -1,0 +1,48 @@
+#include "clocks/leaderless_clock.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace plurality::clocks {
+
+tick_result leaderless_tick(std::uint32_t& initiator_count, std::uint32_t& responder_count,
+                            std::uint32_t psi, sim::rng& gen) noexcept {
+    tick_result result;
+    bool bump_initiator;
+    if (initiator_count == responder_count) {
+        bump_initiator = gen.next_bool();  // "ties are broken arbitrarily"
+    } else {
+        bump_initiator = circular_behind(initiator_count, responder_count, psi);
+    }
+    if (bump_initiator) {
+        initiator_count = (initiator_count + 1) % psi;
+        result.initiator_wrapped = initiator_count == 0;
+    } else {
+        responder_count = (responder_count + 1) % psi;
+        result.responder_wrapped = responder_count == 0;
+    }
+    return result;
+}
+
+std::uint32_t counter_spread(std::span<const clock_agent> agents, std::uint32_t psi) noexcept {
+    // The spread is psi minus the largest "gap" of unoccupied counter values
+    // on the circle; scanning occupancy is O(n + psi).
+    if (agents.empty()) return 0;
+    std::vector<bool> occupied(psi, false);
+    for (const auto& a : agents) occupied[a.count % psi] = true;
+
+    std::uint32_t largest_gap = 0;
+    std::uint32_t current_gap = 0;
+    // Walk the circle twice to handle wrap-around gaps.
+    for (std::uint32_t i = 0; i < 2 * psi; ++i) {
+        if (!occupied[i % psi]) {
+            ++current_gap;
+            largest_gap = std::max(largest_gap, std::min(current_gap, psi - 1));
+        } else {
+            current_gap = 0;
+        }
+    }
+    return psi - 1 - largest_gap;
+}
+
+}  // namespace plurality::clocks

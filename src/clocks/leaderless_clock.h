@@ -1,0 +1,80 @@
+// The leaderless phase clock of Alistarh, Aspnes and Gelashvili (SODA 2018,
+// [1]), exactly as the paper uses it in §3.1:
+//
+//   The counter `count` is used modulo Ψ = Θ(log n).  Whenever two clock
+//   agents interact, the one with the lower counter value (w.r.t. the
+//   circular order modulo Ψ) increments its count; ties are broken
+//   arbitrarily.  Whenever a counter passes through zero the agent's `phase`
+//   advances.
+//
+// The logic lives in free functions over plain counters so the tournament
+// protocol (src/core) can embed the identical rule for its clock agents, and
+// a thin standalone protocol wraps it for unit tests and experiments.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "sim/rng.h"
+
+namespace plurality::clocks {
+
+/// True if counter value `a` is *behind* `b` in the circular order modulo
+/// `psi`: the forward distance from `a` to `b` is in [1, psi/2].
+[[nodiscard]] constexpr bool circular_behind(std::uint32_t a, std::uint32_t b,
+                                             std::uint32_t psi) noexcept {
+    const std::uint32_t forward = (b + psi - a) % psi;
+    return forward >= 1 && forward <= psi / 2;
+}
+
+/// Outcome of one clock-clock interaction.
+struct tick_result {
+    bool initiator_wrapped = false;  ///< initiator's counter passed through zero
+    bool responder_wrapped = false;  ///< responder's counter passed through zero
+};
+
+/// Applies the leaderless clock rule to two counters (both in [0, psi)).
+/// Exactly one of the two counters is incremented (mod psi).
+[[nodiscard]] tick_result leaderless_tick(std::uint32_t& initiator_count,
+                                          std::uint32_t& responder_count, std::uint32_t psi,
+                                          sim::rng& gen) noexcept;
+
+/// Standalone wrapper: a population consisting purely of clock agents.
+/// `phase` counts revolutions modulo `phase_modulus`.
+struct clock_agent {
+    std::uint32_t count = 0;
+    std::uint32_t phase = 0;
+    std::uint64_t revolutions = 0;  ///< total wraps, for rate measurements
+};
+
+class leaderless_clock_protocol {
+public:
+    using agent_t = clock_agent;
+
+    leaderless_clock_protocol(std::uint32_t psi, std::uint32_t phase_modulus)
+        : psi_(psi), phase_modulus_(phase_modulus) {}
+
+    void interact(agent_t& initiator, agent_t& responder, sim::rng& gen) const noexcept {
+        const tick_result tick = leaderless_tick(initiator.count, responder.count, psi_, gen);
+        if (tick.initiator_wrapped) advance_phase(initiator);
+        if (tick.responder_wrapped) advance_phase(responder);
+    }
+
+    [[nodiscard]] std::uint32_t psi() const noexcept { return psi_; }
+
+private:
+    void advance_phase(agent_t& agent) const noexcept {
+        agent.phase = (agent.phase + 1) % phase_modulus_;
+        ++agent.revolutions;
+    }
+
+    std::uint32_t psi_;
+    std::uint32_t phase_modulus_;
+};
+
+/// Maximum pairwise circular distance between counters — the synchronization
+/// quality of the clock (small means tightly bunched).
+[[nodiscard]] std::uint32_t counter_spread(std::span<const clock_agent> agents,
+                                           std::uint32_t psi) noexcept;
+
+}  // namespace plurality::clocks

@@ -1,0 +1,85 @@
+// Per-agent state for the tournament protocols — the concrete realization of
+// the paper's Figure 1 state space.
+//
+// The struct is the *superset* S of all role-specific variables; as §3.4
+// explains, each role only keeps track of its own slice, which is what the
+// census encoding (census_encoding.h) counts.  Simulation-side bookkeeping
+// that the paper models as "constantly many bits" (do-once flags, first-
+// interaction-in-phase detection) is explicit here.
+#pragma once
+
+#include <cstdint>
+
+namespace plurality::core {
+
+/// The four roles of the initialization phase (§3).
+enum class agent_role : std::uint8_t { collector = 0, clock = 1, tracker = 2, player = 3 };
+
+/// playeropinion: U (undecided), A (defender side), B (challenger side).
+enum class player_side : std::uint8_t { undecided = 0, defender_side = 1, challenger_side = 2 };
+
+/// Lifecycle stages.  `init` covers Algorithm 3 (ordered/unordered) or
+/// Algorithm 5 (improved); `electing` is the Appendix-B leader election
+/// (skipped by the ordered algorithm); `tournaments` runs Algorithm 4.
+enum class lifecycle_stage : std::uint8_t { init = 0, electing = 1, tournaments = 2 };
+
+/// What a tracker's announcement (unordered modes) refers to.
+enum class announcement_kind : std::uint8_t { none = 0, defender = 1, challenger = 2 };
+
+struct core_agent {
+    // -- shared variables (every role) --------------------------------------
+    agent_role role = agent_role::collector;
+    lifecycle_stage stage = lifecycle_stage::init;
+    std::uint8_t phase = 0;         ///< tournament phase in [0, phase_modulus)
+    std::uint8_t once_flags = 0;    ///< per-phase do-once bits (Algorithm 4)
+    bool ever_initiated = false;    ///< Algorithm 3 line 1
+    bool winner = false;            ///< final-broadcast bit (§3.4 aftermath)
+
+    // -- collector variables -------------------------------------------------
+    std::uint32_t opinion = 0;  ///< 1..k (0 once the opinion was given up)
+    std::uint8_t tokens = 0;
+    bool defender = false;
+    bool challenger = false;
+    bool participated = false;  ///< opinion has been in a tournament (Appendix B)
+    std::int8_t load = 0;       ///< ℓ in [-token_cap, token_cap]
+
+    // -- clock variables ------------------------------------------------------
+    std::uint32_t count = 0;  ///< init counting, then the leaderless clock counter
+
+    // -- tracker variables ----------------------------------------------------
+    std::uint32_t tcnt = 0;  ///< ordered: tournament counter 1..k+1
+    // leader election (unordered/improved):
+    bool candidate = false;
+    bool coin = false;
+    bool saw_one = false;
+    bool is_leader = false;
+    bool finished = false;  ///< leader found no further challenger
+    std::uint16_t le_rounds = 0;
+    // challenger selection (unordered/improved):
+    std::uint32_t cand_opinion = 0;  ///< sampled not-yet-participating opinion
+    std::uint32_t ann_opinion = 0;   ///< opinion announced by the leader
+    announcement_kind ann_kind = announcement_kind::none;
+    std::uint32_t leader_cycle = 0;  ///< leader's own tournament-cycle counter
+    bool visited_select = false;     ///< leader passed through the select phase
+
+    // -- player variables -------------------------------------------------------
+    player_side po = player_side::undecided;  ///< playeropinion
+    std::int64_t maj_load = 0;                ///< averaging-majority state (S_maj)
+
+    // -- pruning variables (ImprovedAlgorithm, Algorithm 5) ----------------------
+    std::uint8_t junta_level = 0;
+    bool junta_active = true;
+    bool junta_member = false;
+    std::uint32_t junta_p = 0;      ///< junta-driven phase-clock counter
+    std::int16_t prune_phase = 0;   ///< starts at -c; 0 triggers the tournament start
+
+    // -- Appendix C (large k) -----------------------------------------------------
+    bool counting = false;           ///< counting agent (formed by a 1+1 token merge)
+    bool met_same_opinion = false;   ///< collector ever met its own opinion
+};
+
+/// Do-once bits used within the conclusion phase (Algorithm 4, lines 17-21).
+inline constexpr std::uint8_t once_saw_challenger_win = 1u << 0;
+inline constexpr std::uint8_t once_saw_defender_win = 1u << 1;
+
+}  // namespace plurality::core

@@ -1,0 +1,66 @@
+#include "core/config.h"
+
+#include <stdexcept>
+
+#include "majority/averaging_majority.h"
+#include "util/math.h"
+
+namespace plurality::core {
+
+void protocol_config::finalize() {
+    if (n < 16) throw std::invalid_argument("protocol_config: n must be >= 16");
+    if (k < 1 || k >= n) throw std::invalid_argument("protocol_config: need 1 <= k < n");
+    if (token_cap < 2) throw std::invalid_argument("protocol_config: token_cap must be >= 2");
+
+    // Appendix C: beyond Theorem 1's k <= n/40 regime the initialization
+    // needs the counting-agent machinery and slower count decrements.
+    if (k > n / 40) {
+        large_k = true;
+        if (count_decrement_divisor == 1) count_decrement_divisor = 4;
+    }
+
+    const std::uint32_t log_n = util::ceil_log2(n);
+    if (psi == 0) psi = psi_factor * (log_n + 1);
+    if (majority_amplification == 0)
+        majority_amplification = majority::default_amplification(n);
+    if (junta_level_cap == 0) junta_level_cap = util::junta_max_level(n, 2);
+
+    if (mode != algorithm_mode::ordered) {
+        if (leader_rounds == 0)
+            leader_rounds = static_cast<std::uint16_t>(2 * log_n + 12);
+        // Round counting and phase counting advance in lockstep; a multiple
+        // of the phase modulus makes the election end exactly at a cycle
+        // boundary (see plurality_protocol.cpp).
+        const std::uint32_t modulus = phase_modulus();
+        leader_rounds = static_cast<std::uint16_t>(
+            ((leader_rounds + modulus - 1) / modulus) * modulus);
+    } else {
+        leader_rounds = 0;
+    }
+}
+
+protocol_config protocol_config::make(algorithm_mode mode, std::uint32_t n, std::uint32_t k) {
+    protocol_config cfg;
+    cfg.mode = mode;
+    cfg.n = n;
+    cfg.k = k;
+    cfg.finalize();
+    return cfg;
+}
+
+double protocol_config::default_time_budget() const noexcept {
+    const double log_n = static_cast<double>(util::ceil_log2(n) + 1);
+    // One phase lasts roughly Ψ·(n / #clock-agents) <= ~10·Ψ parallel time;
+    // a tournament cycle is phase_modulus() phases.  Budget the whole
+    // pipeline (init + election + k+2 tournaments + final broadcast) with a
+    // 4x safety factor on top.
+    const double phase_time = 10.0 * static_cast<double>(psi);
+    const double cycles = static_cast<double>(k) + 3.0;
+    const double tournaments = cycles * static_cast<double>(phase_modulus()) * phase_time;
+    const double election = static_cast<double>(leader_rounds) * phase_time;
+    const double init = 40.0 * (static_cast<double>(k) + log_n) +
+                        60.0 * log_n * static_cast<double>(prune_hours + 2);
+    return 4.0 * (init + election + tournaments);
+}
+
+}  // namespace plurality::core

@@ -1,0 +1,636 @@
+#include "core/plurality_protocol.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "clocks/junta.h"
+#include "clocks/junta_clock.h"
+#include "clocks/leaderless_clock.h"
+#include "loadbalance/load_balancer.h"
+#include "util/math.h"
+
+namespace plurality::core {
+
+namespace {
+
+/// Phase-entry decision of a player after the match (Appendix A): the
+/// balanced load separates defender win / challenger win / tie by a
+/// constant threshold.
+[[nodiscard]] player_side decide_player(std::int64_t load, std::int64_t thr) noexcept {
+    if (load >= thr) return player_side::defender_side;
+    if (load <= -thr) return player_side::challenger_side;
+    return player_side::undecided;
+}
+
+}  // namespace
+
+plurality_protocol::plurality_protocol(protocol_config cfg) : cfg_(cfg) {}
+
+// ---------------------------------------------------------------------------
+// Population construction
+// ---------------------------------------------------------------------------
+
+std::vector<core_agent> plurality_protocol::make_population(
+    const protocol_config& cfg, const workload::opinion_distribution& dist, sim::rng& gen) {
+    const std::vector<std::uint32_t> opinions = dist.agent_opinions(gen);
+    std::vector<core_agent> agents(opinions.size());
+    for (std::size_t i = 0; i < agents.size(); ++i) {
+        core_agent& a = agents[i];
+        a.opinion = opinions[i];
+        a.tokens = 1;
+        a.role = agent_role::collector;
+        a.stage = lifecycle_stage::init;
+        if (cfg.mode == algorithm_mode::improved) {
+            a.prune_phase = -static_cast<std::int16_t>(cfg.prune_hours);
+        }
+    }
+    return agents;
+}
+
+// ---------------------------------------------------------------------------
+// Stage and phase bookkeeping
+// ---------------------------------------------------------------------------
+
+void plurality_protocol::assign_random_role(agent_t& agent, sim::rng& gen) const {
+    agent.opinion = 0;
+    agent.tokens = 0;
+    agent.defender = false;
+    agent.challenger = false;
+    agent.load = 0;
+    agent.counting = false;
+    switch (gen.next_below(3)) {
+        case 0:
+            agent.role = agent_role::clock;
+            agent.count = 0;
+            break;
+        case 1:
+            agent.role = agent_role::tracker;
+            agent.tcnt = 1;
+            agent.candidate = true;
+            break;
+        default:
+            agent.role = agent_role::player;
+            agent.po = player_side::undecided;
+            agent.maj_load = 0;
+            break;
+    }
+}
+
+bool plurality_protocol::is_select_phase(std::uint8_t phase) const noexcept {
+    return cfg_.mode != algorithm_mode::ordered && phase == cfg_.select_phase();
+}
+
+void plurality_protocol::enter_stage(agent_t& agent, lifecycle_stage target, sim::rng& gen) const {
+    while (agent.stage < target) {
+        if (agent.stage == lifecycle_stage::init) {
+            // Leaving initialization.
+            // Appendix C: counting agents take a random role now.  In the
+            // k > n/2 regime (where singleton opinions are unavoidable and
+            // the role pools would otherwise starve), single-token
+            // collectors that never met their own opinion are recycled too —
+            // the paper introduces that rule only for this case, since for
+            // moderate k it would shave tokens off legitimate opinions.
+            if (cfg_.large_k && cfg_.mode != algorithm_mode::improved &&
+                agent.role == agent_role::collector &&
+                (agent.counting ||
+                 (cfg_.k > cfg_.n / 2 && agent.tokens <= 1 && !agent.met_same_opinion))) {
+                assign_random_role(agent, gen);
+            }
+            if (cfg_.mode == algorithm_mode::improved) {
+                // Pruning decision (Algorithm 5, lines 8-11): agents whose
+                // clock never ticked, or who carry no tokens, switch to a
+                // random non-collector role.
+                const auto never_ticked =
+                    agent.prune_phase == -static_cast<std::int16_t>(cfg_.prune_hours);
+                if (agent.role == agent_role::collector &&
+                    (agent.tokens == 0 || never_ticked)) {
+                    assign_random_role(agent, gen);
+                }
+                agent.prune_phase = 0;
+            }
+            agent.stage = cfg_.mode == algorithm_mode::ordered ? lifecycle_stage::tournaments
+                                                               : lifecycle_stage::electing;
+            if (agent.role == agent_role::clock) agent.count = 0;
+            if (agent.role == agent_role::tracker) {
+                agent.candidate = cfg_.mode != algorithm_mode::ordered;
+                agent.coin = false;
+                agent.saw_one = false;
+                agent.le_rounds = 0;
+            }
+        } else if (agent.stage == lifecycle_stage::electing) {
+            // Election over: surviving candidates that completed all rounds
+            // become leaders (stragglers pulled across the boundary by the
+            // stage broadcast missed their last round and may not claim
+            // leadership).
+            if (agent.role == agent_role::tracker) {
+                if (agent.candidate && !agent.coin && agent.saw_one) agent.candidate = false;
+                agent.is_leader = agent.candidate && agent.le_rounds >= cfg_.leader_rounds;
+                agent.candidate = false;
+                agent.ann_opinion = 0;
+                agent.ann_kind = announcement_kind::none;
+                agent.cand_opinion = 0;
+                agent.leader_cycle = 0;
+                agent.finished = false;
+                agent.visited_select = false;
+            }
+            agent.stage = lifecycle_stage::tournaments;
+        }
+        agent.phase = 0;
+        on_phase_entry(agent, gen);
+        if (agent.stage >= target) break;
+    }
+}
+
+void plurality_protocol::advance_phase(agent_t& agent) const {
+    agent.phase = static_cast<std::uint8_t>((agent.phase + 1) % cfg_.phase_modulus());
+}
+
+void plurality_protocol::set_phase(agent_t& agent, std::uint8_t phase) const {
+    agent.phase = phase;
+}
+
+/// Fires the actions an agent performs when it *enters* its current phase
+/// (the paper's "first interaction in this phase" / "do once" machinery,
+/// realized edge-triggered at the moment the agent learns the new phase).
+void plurality_protocol::on_phase_entry(agent_t& agent, sim::rng& gen) const {
+    agent.once_flags = 0;
+
+    if (agent.stage == lifecycle_stage::electing) {
+        // One phase = one leader-election round (Appendix B / [23]).
+        if (agent.le_rounds >= cfg_.leader_rounds && agent.phase == 0) {
+            enter_stage(agent, lifecycle_stage::tournaments, gen);
+            return;
+        }
+        if (agent.le_rounds < cfg_.leader_rounds) ++agent.le_rounds;
+        if (agent.role == agent_role::tracker) {
+            if (agent.candidate && !agent.coin && agent.saw_one) agent.candidate = false;
+            agent.coin = agent.candidate && gen.next_bool();
+            agent.saw_one = agent.coin;
+        }
+        return;
+    }
+
+    if (agent.stage != lifecycle_stage::tournaments) return;
+
+    // -- cycle boundary -----------------------------------------------------
+    if (agent.phase == 0) {
+        if (cfg_.mode == algorithm_mode::ordered) {
+            if (agent.role == agent_role::tracker) {
+                // Algorithm 2: increment the tournament counter, saturating
+                // at k+1 (the aftermath trigger value, §3.4).
+                agent.tcnt = std::min<std::uint32_t>(agent.tcnt + 1, cfg_.k + 1);
+            }
+        } else if (agent.role == agent_role::tracker) {
+            // Select phase begins: forget last cycle's sampling state.
+            agent.cand_opinion = 0;
+            agent.ann_opinion = 0;
+            agent.ann_kind = announcement_kind::none;
+            if (agent.is_leader) {
+                ++agent.leader_cycle;
+                agent.visited_select = true;
+            }
+        }
+    }
+
+    // -- leaving the select phase: leader checks for termination -------------
+    if (cfg_.mode != algorithm_mode::ordered && agent.phase == 1 && agent.is_leader) {
+        if (agent.visited_select && agent.ann_opinion == 0) agent.finished = true;
+        agent.visited_select = false;
+    }
+
+    // -- players reset before the new tournament and decide after the match --
+    if (agent.role == agent_role::player) {
+        if (agent.phase == cfg_.setup_phase()) {
+            agent.po = player_side::undecided;
+            agent.maj_load = 0;
+        } else if (agent.phase == cfg_.conclude_phase()) {
+            agent.po = decide_player(agent.maj_load, cfg_.majority_threshold);
+        }
+    }
+}
+
+void plurality_protocol::sync_stage_and_phase(agent_t& u, agent_t& v, sim::rng& gen) const {
+    // Stage broadcast: the later stage wins.  Clock agents only accept the
+    // broadcast out of the initialization stage (where their counter is
+    // reset); the electing->tournaments transition they perform themselves
+    // at their own counter wrap — being dragged across it mid-revolution
+    // would make them wrap again right away and broadcast the next phase
+    // early, collapsing the first select phase.
+    if (u.stage != v.stage) {
+        agent_t& behind_agent = u.stage < v.stage ? u : v;
+        const agent_t& ahead_agent = u.stage < v.stage ? v : u;
+        if (behind_agent.role != agent_role::clock ||
+            behind_agent.stage == lifecycle_stage::init) {
+            enter_stage(behind_agent, ahead_agent.stage, gen);
+        }
+    }
+    if (u.stage == lifecycle_stage::init || u.stage != v.stage) return;
+
+    // Phase broadcast (Algorithm 4, lines 22-23): the circularly-behind
+    // agent catches up, firing entry actions for each phase it steps
+    // through (skew is at most a phase or two w.h.p.).  Clock agents are
+    // exempt: their phase follows their own counter wraps — the leaderless
+    // tick rule already synchronizes them, and accepting the broadcast as
+    // well would advance them twice per revolution.
+    const std::uint32_t modulus = cfg_.phase_modulus();
+    if (u.phase == v.phase) return;
+    agent_t* behind = nullptr;
+    agent_t* ahead = nullptr;
+    if (clocks::circular_behind(u.phase, v.phase, modulus)) {
+        behind = &u;
+        ahead = &v;
+    } else {
+        behind = &v;
+        ahead = &u;
+    }
+    if (behind->role == agent_role::clock) return;
+    const lifecycle_stage stage_before = behind->stage;
+    while (behind->phase != ahead->phase) {
+        advance_phase(*behind);
+        on_phase_entry(*behind, gen);
+        if (behind->stage != stage_before) break;  // entry action changed stage
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Initialization stage
+// ---------------------------------------------------------------------------
+
+void plurality_protocol::init_interact(agent_t& u, agent_t& v, sim::rng& gen) const {
+    const bool collector_pair = u.role == agent_role::collector && !u.counting &&
+                                v.role == agent_role::collector && !v.counting;
+    if (collector_pair && u.opinion != 0 && u.opinion == v.opinion) {
+        u.met_same_opinion = true;
+        v.met_same_opinion = true;
+
+        // Appendix C: two single-token collectors of the same opinion merge
+        // into one two-token collector and one *counting agent*.
+        if (cfg_.large_k && u.tokens == 1 && v.tokens == 1) {
+            v.tokens = 2;
+            u.tokens = 0;
+            u.opinion = 0;
+            u.counting = true;
+            u.count = 0;
+            return;
+        }
+
+        // Token collection (Algorithm 3, lines 3-6): the responder
+        // accumulates, the initiator gives up its tokens and takes a random
+        // role.
+        if (u.tokens + v.tokens <= cfg_.token_cap) {
+            v.tokens = static_cast<std::uint8_t>(u.tokens + v.tokens);
+            u.tokens = 0;
+            assign_random_role(u, gen);
+            return;
+        }
+    }
+
+    const auto log_n = static_cast<double>(util::ceil_log2(cfg_.n));
+
+    // Appendix C: counting agents count their own initiations and trigger
+    // the tournament start when the clock path is too slow to form.
+    if (u.counting) {
+        ++u.count;
+        const auto target =
+            static_cast<std::uint32_t>(std::lround(cfg_.counting_factor * log_n));
+        if (u.count >= target) {
+            enter_stage(u,
+                        cfg_.mode == algorithm_mode::ordered ? lifecycle_stage::tournaments
+                                                             : lifecycle_stage::electing,
+                        gen);
+        }
+        return;
+    }
+
+    // Clock counting (Algorithm 1, lines 1-4).  Counting agents are no
+    // longer collectors from the clock's perspective; in the Appendix C
+    // regime the decrement is slowed to 1/c per collector encounter.
+    if (u.role == agent_role::clock) {
+        const bool responder_collects = v.role == agent_role::collector && !v.counting;
+        if (!responder_collects) {
+            ++u.count;
+        } else if (u.count > 0 && (cfg_.count_decrement_divisor <= 1 ||
+                                   gen.next_below(cfg_.count_decrement_divisor) == 0)) {
+            --u.count;
+        }
+        const auto threshold =
+            static_cast<std::uint32_t>(std::lround(cfg_.init_count_factor * log_n));
+        if (u.count >= threshold) {
+            enter_stage(u,
+                        cfg_.mode == algorithm_mode::ordered ? lifecycle_stage::tournaments
+                                                             : lifecycle_stage::electing,
+                        gen);
+        }
+    }
+}
+
+void plurality_protocol::init_interact_improved(agent_t& u, agent_t& v, sim::rng& gen) const {
+    // Algorithm 5: everything here happens in *meaningful* interactions
+    // (same opinion) only.
+    if (u.opinion != v.opinion) return;
+
+    // Junta election and junta-driven phase clock (lines 1-5).
+    clocks::junta_state ju{u.junta_level, u.junta_active, u.junta_member};
+    const clocks::junta_state jv{v.junta_level, v.junta_active, v.junta_member};
+    clocks::junta_step(ju, jv, cfg_.junta_level_cap);
+    u.junta_level = ju.level;
+    u.junta_active = ju.active;
+    u.junta_member = ju.member;
+
+    clocks::junta_clock_state cu{u.junta_p};
+    const clocks::junta_clock_state cv{v.junta_p};
+    const std::uint32_t new_hours = clocks::junta_clock_step(
+        cu, cv, u.junta_member, cfg_.junta_hour_length, cfg_.prune_hours + 1);
+    u.junta_p = cu.p;
+    if (new_hours > 0) {
+        u.prune_phase = static_cast<std::int16_t>(
+            std::min<std::int32_t>(0, u.prune_phase + static_cast<std::int32_t>(new_hours)));
+    }
+
+    // Token collection (lines 6-7): tokens merge but the donor keeps its
+    // collector role until the pruning broadcast.
+    if (u.tokens + v.tokens <= cfg_.token_cap) {
+        v.tokens = static_cast<std::uint8_t>(u.tokens + v.tokens);
+        u.tokens = 0;
+    }
+
+    // First clock to complete all its hours starts the tournaments
+    // (lines 8-11); the stage broadcast in sync_stage_and_phase carries the
+    // signal to everyone else.
+    if (u.prune_phase >= 0) enter_stage(u, lifecycle_stage::electing, gen);
+}
+
+// ---------------------------------------------------------------------------
+// Leader-election stage (Appendix B)
+// ---------------------------------------------------------------------------
+
+void plurality_protocol::electing_interact(agent_t& u, agent_t& v, sim::rng&) const {
+    if (u.role != agent_role::tracker || v.role != agent_role::tracker) return;
+    if (u.phase != v.phase) return;  // stale round information must not leak
+
+    const bool any = u.saw_one || v.saw_one;
+    u.saw_one = any;
+    v.saw_one = any;
+
+    // Direct elimination: of two meeting candidates only the initiator
+    // stays.  The survivor inherits the victim's coin so that "some
+    // heads-flipping candidate survives the round" keeps holding.
+    if (u.candidate && v.candidate) {
+        v.candidate = false;
+        u.coin = u.coin || v.coin;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tournament stage (Algorithm 4 + Appendix B selection)
+// ---------------------------------------------------------------------------
+
+void plurality_protocol::select_pair(agent_t& a, agent_t& b) const {
+    if (a.role != agent_role::tracker) return;
+
+    // Sampling: observe a collector whose opinion has not competed yet.
+    if (b.role == agent_role::collector && !b.participated && b.tokens > 0 && b.opinion != 0) {
+        if (a.is_leader) {
+            if (a.ann_opinion == 0) {
+                a.ann_opinion = b.opinion;
+                a.ann_kind = a.leader_cycle <= 1 ? announcement_kind::defender
+                                                 : announcement_kind::challenger;
+            }
+        } else {
+            a.cand_opinion = b.opinion;
+        }
+        return;
+    }
+
+    if (b.role != agent_role::tracker) return;
+
+    // The leader may adopt a candidate amplified by another tracker.
+    if (a.is_leader && a.ann_opinion == 0 && b.cand_opinion != 0) {
+        a.ann_opinion = b.cand_opinion;
+        a.ann_kind =
+            a.leader_cycle <= 1 ? announcement_kind::defender : announcement_kind::challenger;
+        return;
+    }
+
+    // Announcement spreading among trackers.
+    if (a.ann_opinion == 0 && b.ann_opinion != 0) {
+        a.ann_opinion = b.ann_opinion;
+        a.ann_kind = b.ann_kind;
+    }
+}
+
+void plurality_protocol::setup_pair(agent_t& a, agent_t& b) const {
+    if (a.role != agent_role::collector) return;
+
+    if (cfg_.mode == algorithm_mode::ordered) {
+        // Algorithm 4, lines 2-3: the tracker's tournament counter names the
+        // challenger opinion.
+        if (b.role == agent_role::tracker && a.opinion != 0 && a.opinion == b.tcnt) {
+            a.challenger = true;
+            a.participated = true;
+        }
+    } else {
+        // Appendix B: collectors learn the announced opinion from trackers.
+        if (b.role == agent_role::tracker && b.ann_opinion != 0 && b.ann_opinion == a.opinion) {
+            if (b.ann_kind == announcement_kind::defender) {
+                a.defender = true;
+            } else {
+                a.challenger = true;
+            }
+            a.participated = true;
+        }
+    }
+
+    // Algorithm 4, lines 4-5: (re)initialize the load; idempotent within the
+    // phase, and re-running it after a late challenger marking fixes ℓ up.
+    if (a.defender) {
+        a.load = static_cast<std::int8_t>(a.tokens);
+    } else if (a.challenger) {
+        a.load = -static_cast<std::int8_t>(a.tokens);
+    } else {
+        a.load = 0;
+    }
+}
+
+void plurality_protocol::lineup_pair(agent_t& initiator, agent_t& responder) const {
+    // Algorithm 4, lines 10-12: a collector hands one unit of load to an
+    // undecided player.
+    if (initiator.role != agent_role::collector || responder.role != agent_role::player) return;
+    if (responder.po != player_side::undecided || initiator.load == 0) return;
+
+    if (initiator.load > 0) {
+        responder.po = player_side::defender_side;
+        responder.maj_load = cfg_.majority_amplification;
+        --initiator.load;
+    } else {
+        responder.po = player_side::challenger_side;
+        responder.maj_load = -cfg_.majority_amplification;
+        ++initiator.load;
+    }
+}
+
+void plurality_protocol::conclude_pair(agent_t& collector, agent_t& player) const {
+    // Algorithm 4, lines 17-21: collectors read the match outcome off the
+    // players, each branch at most once per phase.
+    if (player.po == player_side::challenger_side) {
+        if (!(collector.once_flags & once_saw_challenger_win)) {
+            collector.once_flags |= once_saw_challenger_win;
+            collector.defender = collector.challenger;
+            collector.challenger = false;
+        }
+    } else {  // A or U
+        if (!(collector.once_flags & once_saw_defender_win)) {
+            collector.once_flags |= once_saw_defender_win;
+            collector.challenger = false;
+        }
+    }
+}
+
+void plurality_protocol::tournament_interact(agent_t& u, agent_t& v, sim::rng&) const {
+    const std::uint8_t p = u.phase;
+
+    if (is_select_phase(p)) {
+        select_pair(u, v);
+        select_pair(v, u);
+    } else if (p == cfg_.setup_phase()) {
+        setup_pair(u, v);
+        setup_pair(v, u);
+    } else if (p == cfg_.cancel_phase()) {
+        // Algorithm 4, lines 7-8: load balancing among all collectors.
+        if (u.role == agent_role::collector && v.role == agent_role::collector) {
+            std::int64_t lu = u.load;
+            std::int64_t lv = v.load;
+            loadbalance::average_pair(lu, lv);
+            u.load = static_cast<std::int8_t>(lu);
+            v.load = static_cast<std::int8_t>(lv);
+        }
+    } else if (p == cfg_.lineup_phase()) {
+        lineup_pair(u, v);
+    } else if (p == cfg_.match_phase()) {
+        // Algorithm 4, lines 14-15: the exact-majority substrate among the
+        // players (Appendix A; averaging substitute for [20]).
+        if (u.role == agent_role::player && v.role == agent_role::player) {
+            loadbalance::average_pair(u.maj_load, v.maj_load);
+        }
+    } else if (p == cfg_.conclude_phase()) {
+        if (u.role == agent_role::collector && v.role == agent_role::player) {
+            conclude_pair(u, v);
+        }
+    }
+
+    // Aftermath (§3.4 / Appendix B): detect overall completion and crown the
+    // final defender.
+    if (cfg_.mode == algorithm_mode::ordered) {
+        const auto crown = [this](const agent_t& tracker, agent_t& collector) {
+            if (tracker.role == agent_role::tracker && tracker.tcnt == cfg_.k + 1 &&
+                collector.role == agent_role::collector && collector.defender) {
+                collector.winner = true;
+            }
+        };
+        crown(u, v);
+        crown(v, u);
+    } else {
+        if (u.role == agent_role::tracker && v.role == agent_role::tracker) {
+            const bool done = u.finished || v.finished;
+            u.finished = done;
+            v.finished = done;
+        }
+        const auto crown = [](const agent_t& tracker, agent_t& collector) {
+            if (tracker.role == agent_role::tracker && tracker.finished &&
+                collector.role == agent_role::collector && collector.defender) {
+                collector.winner = true;
+            }
+        };
+        crown(u, v);
+        crown(v, u);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Top-level transition function
+// ---------------------------------------------------------------------------
+
+void plurality_protocol::interact(agent_t& u, agent_t& v, sim::rng& gen) {
+    // Algorithm 3, lines 1-2: opinion-1 agents mark themselves defenders on
+    // their first interaction as initiator (ordered algorithm only).
+    if (!u.ever_initiated) {
+        u.ever_initiated = true;
+        if (cfg_.mode == algorithm_mode::ordered && u.stage == lifecycle_stage::init &&
+            u.role == agent_role::collector && u.opinion == 1) {
+            u.defender = true;
+        }
+    }
+
+    // Final broadcast (§3.4): winners convert everyone and do nothing else.
+    if (u.winner || v.winner) {
+        if (u.winner && !v.winner) {
+            v.role = agent_role::collector;
+            v.opinion = u.opinion;
+            v.winner = true;
+        } else if (v.winner && !u.winner) {
+            u.role = agent_role::collector;
+            u.opinion = v.opinion;
+            u.winner = true;
+        }
+        return;
+    }
+
+    sync_stage_and_phase(u, v, gen);
+
+    if (u.stage == lifecycle_stage::init && v.stage == lifecycle_stage::init) {
+        if (cfg_.mode == algorithm_mode::improved) {
+            init_interact_improved(u, v, gen);
+        } else {
+            init_interact(u, v, gen);
+        }
+        return;
+    }
+    if (u.stage == lifecycle_stage::init || v.stage == lifecycle_stage::init) return;
+
+    // The leaderless phase clock keeps running in both remaining stages
+    // (Algorithm 1, lines 5-8).  Two clocks tick even when one of them still
+    // sits in the electing stage: counters are stage-agnostic, and a clock
+    // that stopped ticking at the stage boundary would be stranded there
+    // until it happened to meet another stranded clock.
+    if (u.role == agent_role::clock && v.role == agent_role::clock) {
+        const clocks::tick_result tick = clocks::leaderless_tick(u.count, v.count, cfg_.psi, gen);
+        if (tick.initiator_wrapped) {
+            advance_phase(u);
+            on_phase_entry(u, gen);
+        }
+        if (tick.responder_wrapped) {
+            advance_phase(v);
+            on_phase_entry(v, gen);
+        }
+        // Clock phases must stay coherent as a (counter, phase) pair: a
+        // clock that ever slips a whole revolution (possible during the long
+        // election when a tie-break strands it across the circular midpoint)
+        // would otherwise stay phase-shifted forever and drag the rest of
+        // the population around the phase circle.  The phase-behind clock
+        // adopts both the partner's phase and its counter, so it cannot
+        // double-wrap right afterwards.
+        if (u.stage == v.stage && u.phase != v.phase) {
+            agent_t& behind = clocks::circular_behind(u.phase, v.phase, cfg_.phase_modulus()) ? u : v;
+            agent_t& ahead = &behind == &u ? v : u;
+            behind.count = ahead.count;
+            const lifecycle_stage stage_before = behind.stage;
+            while (behind.phase != ahead.phase) {
+                advance_phase(behind);
+                on_phase_entry(behind, gen);
+                if (behind.stage != stage_before) break;
+            }
+        }
+        sync_stage_and_phase(u, v, gen);
+        if (u.stage != v.stage) return;
+    }
+
+    if (u.phase != v.phase) return;  // separator skew; no joint work this time
+
+    if (u.stage == lifecycle_stage::electing) {
+        electing_interact(u, v, gen);
+    } else {
+        tournament_interact(u, v, gen);
+    }
+}
+
+}  // namespace plurality::core

@@ -1,0 +1,78 @@
+// The paper's exact-plurality-consensus protocols as one configurable
+// transition function:
+//
+//  * algorithm_mode::ordered   — SimpleAlgorithm (§3, Algorithms 1-4).
+//  * algorithm_mode::unordered — SimpleAlgorithm without an opinion order
+//                                (Appendix B): a leader elected among the
+//                                trackers samples each tournament's
+//                                challenger, trackers amplify rare opinions.
+//  * algorithm_mode::improved  — ImprovedAlgorithm (§4, Algorithm 5):
+//                                per-opinion junta clocks prune
+//                                insignificant opinions before the
+//                                (unordered) tournaments begin.
+//
+// The three modes share the tournament machinery: an initialization stage
+// splits the population into collector/clock/tracker/player roles; the
+// leaderless phase clock of [1] partitions time into phases; each
+// tournament runs setup -> cancellation -> lineup -> match -> conclusion in
+// the even phases with odd separator phases in between (§3.3); the final
+// winner is flooded to everyone (§3.4).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/agent.h"
+#include "core/config.h"
+#include "sim/rng.h"
+#include "workload/opinion_distribution.h"
+
+namespace plurality::core {
+
+class plurality_protocol {
+public:
+    using agent_t = core_agent;
+
+    explicit plurality_protocol(protocol_config cfg);
+
+    /// The population-protocol transition function δ(u, v); u is the
+    /// initiator, v the responder (paper §2).
+    void interact(agent_t& initiator, agent_t& responder, sim::rng& gen);
+
+    [[nodiscard]] const protocol_config& config() const noexcept { return cfg_; }
+
+    /// Builds the initial configuration: every agent is a collector holding
+    /// one token of its opinion; agent order is shuffled so identity never
+    /// encodes the opinion.
+    [[nodiscard]] static std::vector<core_agent> make_population(
+        const protocol_config& cfg, const workload::opinion_distribution& dist, sim::rng& gen);
+
+private:
+    // -- stage / phase bookkeeping -----------------------------------------
+    void enter_stage(agent_t& agent, lifecycle_stage target, sim::rng& gen) const;
+    void set_phase(agent_t& agent, std::uint8_t phase) const;
+    void advance_phase(agent_t& agent) const;
+    void sync_stage_and_phase(agent_t& u, agent_t& v, sim::rng& gen) const;
+    void on_phase_entry(agent_t& agent, sim::rng& gen) const;
+
+    // -- per-stage interaction logic ----------------------------------------
+    void init_interact(agent_t& u, agent_t& v, sim::rng& gen) const;
+    void init_interact_improved(agent_t& u, agent_t& v, sim::rng& gen) const;
+    void electing_interact(agent_t& u, agent_t& v, sim::rng& gen) const;
+    void tournament_interact(agent_t& u, agent_t& v, sim::rng& gen) const;
+
+    // tournament working phases (x = either party, directionless helpers
+    // receive both orders where the paper's rule is initiator-specific)
+    void select_pair(agent_t& a, agent_t& b) const;
+    void setup_pair(agent_t& a, agent_t& b) const;
+    void lineup_pair(agent_t& initiator, agent_t& responder) const;
+    void conclude_pair(agent_t& collector, agent_t& player) const;
+
+    void assign_random_role(agent_t& agent, sim::rng& gen) const;
+    [[nodiscard]] bool is_select_phase(std::uint8_t phase) const noexcept;
+
+    protocol_config cfg_;
+};
+
+}  // namespace plurality::core

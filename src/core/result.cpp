@@ -1,0 +1,89 @@
+#include "core/result.h"
+
+#include <algorithm>
+
+#include "core/plurality_protocol.h"
+#include "sim/simulation.h"
+
+namespace plurality::core {
+
+consensus_result run_to_consensus(const protocol_config& cfg,
+                                  const workload::opinion_distribution& dist, std::uint64_t seed,
+                                  double time_budget) {
+    sim::rng setup_gen(sim::derive_seed(seed, 0x5e70ull));
+    plurality_protocol protocol{cfg};
+    auto population = plurality_protocol::make_population(cfg, dist, setup_gen);
+    sim::simulation<plurality_protocol> simulation{std::move(protocol), std::move(population),
+                                                   sim::derive_seed(seed, 0x10ull)};
+
+    if (time_budget <= 0.0) time_budget = cfg.default_time_budget();
+    const auto budget =
+        static_cast<std::uint64_t>(time_budget * static_cast<double>(cfg.n));
+
+    const auto done = [](const auto& s) { return all_winners(s.agents()); };
+    const auto finished = simulation.run_until(done, budget, 4ull * cfg.n);
+
+    consensus_result result;
+    result.parallel_time = simulation.parallel_time();
+    result.interactions = simulation.interactions();
+    result.converged = finished.has_value();
+    result.winner_opinion = consensus_opinion(simulation.agents());
+    result.correct = result.converged && result.winner_opinion == dist.plurality_opinion();
+    return result;
+}
+
+std::array<std::size_t, 4> role_counts(std::span<const core_agent> agents) noexcept {
+    std::array<std::size_t, 4> counts{};
+    for (const auto& a : agents) ++counts[static_cast<std::size_t>(a.role)];
+    return counts;
+}
+
+std::uint64_t tokens_of_opinion(std::span<const core_agent> agents,
+                                std::uint32_t opinion) noexcept {
+    std::uint64_t total = 0;
+    for (const auto& a : agents) {
+        if (a.role == agent_role::collector && a.opinion == opinion) total += a.tokens;
+    }
+    return total;
+}
+
+std::vector<std::uint32_t> surviving_opinions(std::span<const core_agent> agents) {
+    std::vector<std::uint32_t> opinions;
+    for (const auto& a : agents) {
+        if (a.role == agent_role::collector && a.tokens > 0 && a.opinion != 0) {
+            opinions.push_back(a.opinion);
+        }
+    }
+    std::sort(opinions.begin(), opinions.end());
+    opinions.erase(std::unique(opinions.begin(), opinions.end()), opinions.end());
+    return opinions;
+}
+
+bool init_finished(std::span<const core_agent> agents) noexcept {
+    return std::none_of(agents.begin(), agents.end(), [](const core_agent& a) {
+        return a.stage == lifecycle_stage::init;
+    });
+}
+
+bool all_winners(std::span<const core_agent> agents) noexcept {
+    return std::all_of(agents.begin(), agents.end(),
+                       [](const core_agent& a) { return a.winner; });
+}
+
+std::uint32_t consensus_opinion(std::span<const core_agent> agents) noexcept {
+    if (agents.empty()) return 0;
+    const std::uint32_t first = agents.front().opinion;
+    for (const auto& a : agents) {
+        if (!a.winner || a.opinion != first) return 0;
+    }
+    return first;
+}
+
+std::size_t leader_count(std::span<const core_agent> agents) noexcept {
+    std::size_t count = 0;
+    for (const auto& a : agents)
+        if (a.is_leader) ++count;
+    return count;
+}
+
+}  // namespace plurality::core

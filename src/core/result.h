@@ -1,0 +1,58 @@
+// Running the tournament protocols to consensus, plus configuration
+// inspection helpers used by tests and experiments (role balance, token
+// conservation, surviving opinions, ...).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/agent.h"
+#include "core/config.h"
+#include "workload/opinion_distribution.h"
+
+namespace plurality::core {
+
+/// Outcome of one full protocol execution.
+struct consensus_result {
+    bool converged = false;  ///< all agents carry the winner bit
+    bool correct = false;    ///< ... and agree on the true plurality opinion
+    std::uint32_t winner_opinion = 0;
+    double parallel_time = 0.0;
+    std::uint64_t interactions = 0;
+};
+
+/// Runs the configured protocol on the given initial distribution until all
+/// agents output a winner (or `time_budget` parallel time elapses;
+/// 0 = config's default budget).  Fully deterministic in `seed`.
+[[nodiscard]] consensus_result run_to_consensus(const protocol_config& cfg,
+                                                const workload::opinion_distribution& dist,
+                                                std::uint64_t seed, double time_budget = 0.0);
+
+// -- configuration inspection -------------------------------------------------
+
+/// Agents per role, indexed by agent_role's underlying value.
+[[nodiscard]] std::array<std::size_t, 4> role_counts(std::span<const core_agent> agents) noexcept;
+
+/// Total tokens currently held by collectors of `opinion` (T_i(t) of §4).
+[[nodiscard]] std::uint64_t tokens_of_opinion(std::span<const core_agent> agents,
+                                              std::uint32_t opinion) noexcept;
+
+/// Distinct opinions still represented by a token-holding collector.
+[[nodiscard]] std::vector<std::uint32_t> surviving_opinions(std::span<const core_agent> agents);
+
+/// True once no agent is in the initialization stage.
+[[nodiscard]] bool init_finished(std::span<const core_agent> agents) noexcept;
+
+/// True once every agent carries the winner bit.
+[[nodiscard]] bool all_winners(std::span<const core_agent> agents) noexcept;
+
+/// The opinion all agents agree on (0 if they do not agree or not all are
+/// winners yet).
+[[nodiscard]] std::uint32_t consensus_opinion(std::span<const core_agent> agents) noexcept;
+
+/// Number of agents currently flagged as leader (unordered modes).
+[[nodiscard]] std::size_t leader_count(std::span<const core_agent> agents) noexcept;
+
+}  // namespace plurality::core

@@ -1,0 +1,80 @@
+// Leader election via synchronized coin-flip elimination — the substrate the
+// unordered tournament variant uses to pick challengers (Appendix B).
+//
+// The paper invokes the protocol of Gąsieniec and Stachowiak (J.ACM 2021,
+// [23]) as a black box with the contract "unique leader w.h.p. within
+// O(log² n) parallel time, and the leader knows when the protocol is done".
+// We implement that contract with the repository's own clock machinery (see
+// DESIGN.md's substitution note):
+//
+//  * a leaderless phase clock partitions time into *rounds* (one clock
+//    revolution each, i.e. Θ(log n) parallel time),
+//  * every agent starts as a candidate and flips a coin at the start of
+//    each round,
+//  * the OR of all candidates' coins spreads epidemically within the round
+//    (tagged by the round id so stale bits cannot leak across rounds),
+//  * at the next round boundary, candidates that flipped 0 while some
+//    candidate flipped 1 retire — the candidate set roughly halves,
+//  * candidates surviving `total_rounds` = Θ(log n) rounds declare
+//    themselves leader; w.h.p. exactly one does.
+//
+// Meeting candidates also eliminate directly (the responder retires), which
+// only speeds up the tail and can never remove the last candidate.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "clocks/leaderless_clock.h"
+#include "sim/rng.h"
+
+namespace plurality::leader {
+
+struct leader_agent {
+    std::uint32_t count = 0;      ///< leaderless clock counter
+    std::uint8_t round_tag = 0;   ///< round id modulo a small constant
+    std::uint16_t rounds_done = 0;
+    bool candidate = true;
+    bool coin = false;
+    bool saw_one = false;
+    bool leader = false;
+};
+
+class leader_election_protocol {
+public:
+    using agent_t = leader_agent;
+
+    /// Round tags only need to distinguish neighbouring rounds (clock skew
+    /// is <= 1 round w.h.p.), so a small modulus suffices — this is how the
+    /// protocol avoids storing a Θ(log n)-valued round id in every agent.
+    static constexpr std::uint8_t round_tag_modulus = 16;
+
+    leader_election_protocol(std::uint32_t psi, std::uint16_t total_rounds)
+        : psi_(psi), total_rounds_(total_rounds) {}
+
+    void interact(agent_t& initiator, agent_t& responder, sim::rng& gen) const noexcept;
+
+    [[nodiscard]] std::uint16_t total_rounds() const noexcept { return total_rounds_; }
+    [[nodiscard]] std::uint32_t psi() const noexcept { return psi_; }
+
+private:
+    void advance_round(agent_t& agent, sim::rng& gen) const noexcept;
+
+    std::uint32_t psi_;
+    std::uint16_t total_rounds_;
+};
+
+/// Default parameters for a population of size n.
+[[nodiscard]] std::uint32_t default_psi(std::uint32_t n) noexcept;
+[[nodiscard]] std::uint16_t default_rounds(std::uint32_t n) noexcept;
+
+[[nodiscard]] std::size_t candidate_count(std::span<const leader_agent> agents) noexcept;
+[[nodiscard]] std::size_t leader_count(std::span<const leader_agent> agents) noexcept;
+
+/// True once every agent has finished `total_rounds` rounds (the election is
+/// over; leaders, if any, have declared).
+[[nodiscard]] bool election_finished(std::span<const leader_agent> agents,
+                                     std::uint16_t total_rounds) noexcept;
+
+}  // namespace plurality::leader

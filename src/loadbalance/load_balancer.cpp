@@ -1,0 +1,47 @@
+#include "loadbalance/load_balancer.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/simulation.h"
+
+namespace plurality::loadbalance {
+
+std::int64_t total_load(std::span<const load_agent> agents) noexcept {
+    std::int64_t sum = 0;
+    for (const auto& a : agents) sum += a.load;
+    return sum;
+}
+
+std::int64_t discrepancy(std::span<const load_agent> agents) noexcept {
+    if (agents.empty()) return 0;
+    std::int64_t lo = agents.front().load;
+    std::int64_t hi = lo;
+    for (const auto& a : agents) {
+        lo = std::min(lo, a.load);
+        hi = std::max(hi, a.load);
+    }
+    return hi - lo;
+}
+
+double measure_balancing_time(std::span<const std::int64_t> initial_loads,
+                              std::int64_t target_discrepancy, double budget,
+                              std::uint64_t seed) {
+    if (initial_loads.size() < 2)
+        throw std::invalid_argument("measure_balancing_time: need >= 2 agents");
+    std::vector<load_agent> agents(initial_loads.size());
+    for (std::size_t i = 0; i < agents.size(); ++i) agents[i].load = initial_loads[i];
+
+    const auto n = static_cast<std::uint32_t>(agents.size());
+    sim::simulation<load_balance_protocol> simulation{load_balance_protocol{}, std::move(agents),
+                                                      seed};
+    const auto balanced = [target_discrepancy](const auto& s) {
+        return discrepancy(s.agents()) <= target_discrepancy;
+    };
+    const auto max_interactions = static_cast<std::uint64_t>(budget * static_cast<double>(n));
+    const auto finished = simulation.run_until(balanced, max_interactions, n / 4 + 1);
+    return finished ? simulation.parallel_time() : -1.0;
+}
+
+}  // namespace plurality::loadbalance

@@ -1,0 +1,42 @@
+// Repeated-trial driver: runs a randomized experiment many times with
+// independent derived seeds and aggregates the per-trial measurements.
+//
+// Population protocols give "with high probability" guarantees; a single run
+// proves little.  Every experiment in `bench/` and most integration tests go
+// through this driver.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "analysis/stats.h"
+#include "sim/rng.h"
+
+namespace plurality::sim {
+
+/// Outcome of one randomized trial.
+struct trial_outcome {
+    bool success = false;          ///< did the protocol reach the correct output?
+    double parallel_time = 0.0;    ///< parallel time at convergence (or budget)
+    double auxiliary = 0.0;        ///< experiment-specific extra measurement
+};
+
+/// Aggregated view over many trials.
+struct trial_summary {
+    std::size_t trials = 0;
+    std::size_t successes = 0;
+    analysis::summary_stats time_stats;       ///< over successful trials
+    analysis::summary_stats auxiliary_stats;  ///< over all trials
+
+    [[nodiscard]] double success_rate() const noexcept {
+        return trials == 0 ? 0.0 : static_cast<double>(successes) / static_cast<double>(trials);
+    }
+};
+
+/// Runs `trials` independent executions of `trial`, feeding each a distinct
+/// seed derived from `base_seed`, and aggregates the outcomes.
+[[nodiscard]] trial_summary run_trials(std::size_t trials, std::uint64_t base_seed,
+                                       const std::function<trial_outcome(std::uint64_t seed)>& trial);
+
+}  // namespace plurality::sim

@@ -1,0 +1,13 @@
+#include "sim/rng.h"
+
+namespace plurality::sim {
+
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t stream) noexcept {
+    // Feed both words through splitmix64 twice; the golden-ratio increments
+    // decorrelate consecutive stream indices.
+    std::uint64_t s = base_seed ^ (0x6a09e667f3bcc909ull + stream * 0x9e3779b97f4a7c15ull);
+    (void)splitmix64_next(s);
+    return splitmix64_next(s);
+}
+
+}  // namespace plurality::sim

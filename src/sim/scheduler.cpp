@@ -1,0 +1,5 @@
+#include "sim/scheduler.h"
+
+// Header-only functionality; this translation unit exists so the module has a
+// home for future out-of-line additions and so the library always archives.
+namespace plurality::sim {}

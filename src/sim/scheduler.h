@@ -1,0 +1,33 @@
+// The random pairwise scheduler of the population-protocol model (paper §2):
+// in every time step one ordered pair of distinct agents (initiator,
+// responder) is chosen independently and uniformly at random.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/rng.h"
+
+namespace plurality::sim {
+
+/// An ordered interaction pair: `initiator` observes/drives the transition,
+/// `responder` is its partner.  Both are indices into the agent vector.
+struct interaction_pair {
+    std::uint32_t initiator;
+    std::uint32_t responder;
+};
+
+/// Samples a uniformly random ordered pair of *distinct* agents out of `n`.
+/// Requires n >= 2.
+[[nodiscard]] inline interaction_pair sample_pair(rng& gen, std::uint32_t n) noexcept {
+    const auto initiator = static_cast<std::uint32_t>(gen.next_below(n));
+    auto responder = static_cast<std::uint32_t>(gen.next_below(n - 1));
+    if (responder >= initiator) ++responder;
+    return {initiator, responder};
+}
+
+/// Expected number of interactions that make up one unit of parallel time.
+[[nodiscard]] constexpr double interactions_per_time_unit(std::uint32_t n) noexcept {
+    return static_cast<double>(n);
+}
+
+}  // namespace plurality::sim

@@ -1,0 +1,110 @@
+// Generic driver for population protocols under the uniform random pairwise
+// scheduler.
+//
+// A *protocol* is a value type that defines
+//
+//     using agent_t = ...;                               // per-agent state
+//     void interact(agent_t& initiator, agent_t& responder, rng& gen);
+//
+// The `simulation` template owns the agent vector and the random stream and
+// advances the configuration one interaction at a time.  Time is reported
+// both in interactions and in *parallel time* (interactions / n), the
+// standard notion used throughout the paper.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/scheduler.h"
+
+namespace plurality::sim {
+
+template <class P>
+concept protocol = requires(P p, typename P::agent_t& a, typename P::agent_t& b, rng& gen) {
+    { p.interact(a, b, gen) };
+};
+
+/// Sentinel for "no interaction budget".
+inline constexpr std::uint64_t unlimited_interactions = std::numeric_limits<std::uint64_t>::max();
+
+/// Drives one protocol instance over one population.
+template <protocol P>
+class simulation {
+public:
+    using agent_t = typename P::agent_t;
+
+    /// Takes ownership of the protocol instance (its parameters) and the
+    /// initial configuration.  Requires at least two agents.
+    simulation(P proto, std::vector<agent_t> agents, std::uint64_t seed)
+        : protocol_(std::move(proto)), agents_(std::move(agents)), gen_(seed) {}
+
+    /// Executes exactly one interaction.
+    void step() {
+        const auto pair = sample_pair(gen_, static_cast<std::uint32_t>(agents_.size()));
+        protocol_.interact(agents_[pair.initiator], agents_[pair.responder], gen_);
+        ++interactions_;
+    }
+
+    /// Executes `count` interactions.
+    void run_for(std::uint64_t count) {
+        for (std::uint64_t i = 0; i < count; ++i) step();
+    }
+
+    /// Executes interactions until `pred(sim)` holds, checking every
+    /// `check_every` interactions (default: once per parallel-time unit), up
+    /// to `max_interactions`.  Returns the interaction count at which the
+    /// predicate first held, or nullopt if the budget ran out.
+    template <std::predicate<const simulation&> Pred>
+    std::optional<std::uint64_t> run_until(Pred pred, std::uint64_t max_interactions,
+                                           std::uint64_t check_every = 0) {
+        if (check_every == 0) check_every = agents_.size();
+        if (pred(*this)) return interactions_;
+        while (interactions_ < max_interactions) {
+            const std::uint64_t batch =
+                std::min<std::uint64_t>(check_every, max_interactions - interactions_);
+            run_for(batch);
+            if (pred(*this)) return interactions_;
+        }
+        return std::nullopt;
+    }
+
+    [[nodiscard]] std::uint64_t interactions() const noexcept { return interactions_; }
+    [[nodiscard]] double parallel_time() const noexcept {
+        return static_cast<double>(interactions_) / static_cast<double>(agents_.size());
+    }
+
+    [[nodiscard]] std::span<const agent_t> agents() const noexcept { return agents_; }
+    [[nodiscard]] std::span<agent_t> agents_mutable() noexcept { return agents_; }
+    [[nodiscard]] std::size_t population_size() const noexcept { return agents_.size(); }
+
+    [[nodiscard]] P& protocol_state() noexcept { return protocol_; }
+    [[nodiscard]] const P& protocol_state() const noexcept { return protocol_; }
+
+    /// Exposes the random stream, e.g. for protocols whose setup needs
+    /// additional randomness tied to the same run.
+    [[nodiscard]] rng& random() noexcept { return gen_; }
+
+private:
+    P protocol_;
+    std::vector<agent_t> agents_;
+    rng gen_;
+    std::uint64_t interactions_ = 0;
+};
+
+/// Convenience: fraction of agents satisfying a property.
+template <class Agent, std::predicate<const Agent&> Pred>
+[[nodiscard]] double fraction_of(std::span<const Agent> agents, Pred pred) {
+    if (agents.empty()) return 0.0;
+    std::size_t count = 0;
+    for (const auto& a : agents)
+        if (pred(a)) ++count;
+    return static_cast<double>(count) / static_cast<double>(agents.size());
+}
+
+}  // namespace plurality::sim

@@ -1,0 +1,71 @@
+// Time-series recording of protocol executions.
+//
+// Experiments and examples often need the *trajectory* of a run — role
+// populations over time, surviving opinions, token counts, phase progress —
+// not just the final outcome.  The recorder samples user-defined series at a
+// fixed parallel-time cadence and exports CSV for offline plotting.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace plurality::trace {
+
+/// One named time series: a sampling function evaluated at every tick.
+template <class Simulation>
+struct series {
+    std::string name;
+    std::function<double(const Simulation&)> sample;
+};
+
+/// Samples a set of series from a running simulation every
+/// `cadence` parallel-time units.
+template <class Simulation>
+class recorder {
+public:
+    explicit recorder(double cadence) : cadence_(cadence) {}
+
+    void add_series(std::string name, std::function<double(const Simulation&)> sample) {
+        series_.push_back({std::move(name), std::move(sample)});
+        columns_.emplace_back();
+    }
+
+    /// Samples all series if at least `cadence` parallel time passed since
+    /// the last sample.  Returns true if a sample was taken.
+    bool maybe_sample(const Simulation& simulation) {
+        const double now = simulation.parallel_time();
+        if (!times_.empty() && now < times_.back() + cadence_) return false;
+        times_.push_back(now);
+        for (std::size_t i = 0; i < series_.size(); ++i) {
+            columns_[i].push_back(series_[i].sample(simulation));
+        }
+        return true;
+    }
+
+    [[nodiscard]] std::size_t samples() const noexcept { return times_.size(); }
+    [[nodiscard]] const std::vector<double>& times() const noexcept { return times_; }
+    [[nodiscard]] const std::vector<double>& column(std::size_t i) const { return columns_.at(i); }
+
+    /// Writes "time,series1,series2,..." CSV.
+    void write_csv(std::ostream& os) const {
+        os << "parallel_time";
+        for (const auto& s : series_) os << ',' << s.name;
+        os << '\n';
+        for (std::size_t row = 0; row < times_.size(); ++row) {
+            os << times_[row];
+            for (const auto& col : columns_) os << ',' << col[row];
+            os << '\n';
+        }
+    }
+
+private:
+    double cadence_;
+    std::vector<series<Simulation>> series_;
+    std::vector<double> times_;
+    std::vector<std::vector<double>> columns_;
+};
+
+}  // namespace plurality::trace

@@ -1,0 +1,27 @@
+// Small integer-math helpers shared across modules.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace plurality::util {
+
+/// ⌈log2(x)⌉ for x >= 1 (0 for x == 1).
+[[nodiscard]] constexpr std::uint32_t ceil_log2(std::uint64_t x) noexcept {
+    return x <= 1 ? 0 : 64 - static_cast<std::uint32_t>(std::countl_zero(x - 1));
+}
+
+/// ⌊log2(x)⌋ for x >= 1.
+[[nodiscard]] constexpr std::uint32_t floor_log2(std::uint64_t x) noexcept {
+    return x == 0 ? 0 : 63 - static_cast<std::uint32_t>(std::countl_zero(x));
+}
+
+/// The paper's junta maximum level for a (sub)population bound of `n`:
+/// ℓmax = ⌊log2 log2 n⌋ - `offset`, clamped to at least 1 so the machinery
+/// stays well-defined for small simulated populations.
+[[nodiscard]] constexpr std::uint32_t junta_max_level(std::uint64_t n, std::uint32_t offset) noexcept {
+    const std::uint32_t loglog = floor_log2(floor_log2(n < 4 ? 4 : n));
+    return loglog > offset ? loglog - offset : 1;
+}
+
+}  // namespace plurality::util

@@ -1,0 +1,133 @@
+// Unit tests for the state-census machinery (census/ and the core encoding).
+#include <gtest/gtest.h>
+
+#include "census/state_census.h"
+#include "core/agent.h"
+#include "core/census_encoding.h"
+#include "core/config.h"
+
+namespace {
+
+using namespace plurality::census;
+using namespace plurality::core;
+
+TEST(Census, CountsDistinctCodes) {
+    state_census census;
+    census.observe(1);
+    census.observe(2);
+    census.observe(1);
+    EXPECT_EQ(census.distinct(), 2u);
+    census.clear();
+    EXPECT_EQ(census.distinct(), 0u);
+}
+
+TEST(Census, PackerIsInjectiveOverDeclaredRanges) {
+    // All (a, b, c) combinations within the declared cardinalities map to
+    // distinct codes.
+    state_census census;
+    for (std::uint64_t a = 0; a < 7; ++a) {
+        for (std::uint64_t b = 0; b < 5; ++b) {
+            for (std::uint64_t c = 0; c < 3; ++c) {
+                state_packer p;
+                p.field(a, 7).field(b, 5).field(c, 3);
+                census.observe(p.code());
+            }
+        }
+    }
+    EXPECT_EQ(census.distinct(), 7u * 5u * 3u);
+}
+
+TEST(Census, PackerClampsOutOfRange) {
+    state_packer a;
+    a.field(10, 5);
+    state_packer b;
+    b.field(4, 5);
+    EXPECT_EQ(a.code(), b.code());
+}
+
+TEST(CensusEncoding, DistinguishesRoles) {
+    const auto cfg = protocol_config::make(algorithm_mode::ordered, 1024, 4);
+    core_agent collector;
+    collector.role = agent_role::collector;
+    core_agent clock = collector;
+    clock.role = agent_role::clock;
+    EXPECT_NE(canonical_code(collector, cfg, census_mode::full),
+              canonical_code(clock, cfg, census_mode::full));
+}
+
+TEST(CensusEncoding, IgnoresOtherRolesVariables) {
+    // A clock's code must not depend on collector-only variables (the paper's
+    // role-split accounting, §3.4).
+    const auto cfg = protocol_config::make(algorithm_mode::ordered, 1024, 4);
+    core_agent clock;
+    clock.role = agent_role::clock;
+    clock.count = 17;
+    core_agent clock2 = clock;
+    clock2.opinion = 3;
+    clock2.tokens = 9;
+    clock2.defender = true;
+    EXPECT_EQ(canonical_code(clock, cfg, census_mode::full),
+              canonical_code(clock2, cfg, census_mode::full));
+}
+
+TEST(CensusEncoding, CollectorVariablesMatter) {
+    const auto cfg = protocol_config::make(algorithm_mode::ordered, 1024, 4);
+    core_agent a;
+    a.role = agent_role::collector;
+    a.opinion = 1;
+    a.tokens = 2;
+    core_agent b = a;
+    b.tokens = 3;
+    EXPECT_NE(canonical_code(a, cfg, census_mode::full),
+              canonical_code(b, cfg, census_mode::full));
+    core_agent c = a;
+    c.load = -2;
+    EXPECT_NE(canonical_code(a, cfg, census_mode::full),
+              canonical_code(c, cfg, census_mode::full));
+}
+
+TEST(CensusEncoding, StructuralModeBucketsPlayerLoads) {
+    const auto cfg = protocol_config::make(algorithm_mode::ordered, 1024, 4);
+    core_agent p;
+    p.role = agent_role::player;
+    p.po = player_side::defender_side;
+    p.maj_load = 1000;
+    core_agent q = p;
+    q.maj_load = 1001;
+    // Full census: distinct; structural census: same exponent bucket.
+    EXPECT_NE(canonical_code(p, cfg, census_mode::full),
+              canonical_code(q, cfg, census_mode::full));
+    EXPECT_EQ(canonical_code(p, cfg, census_mode::structural),
+              canonical_code(q, cfg, census_mode::structural));
+    // Sign still matters structurally.
+    core_agent r = p;
+    r.maj_load = -1000;
+    EXPECT_NE(canonical_code(p, cfg, census_mode::structural),
+              canonical_code(r, cfg, census_mode::structural));
+}
+
+TEST(CensusEncoding, PhaseAndOnceFlagsAreShared) {
+    const auto cfg = protocol_config::make(algorithm_mode::ordered, 1024, 4);
+    core_agent a;
+    a.role = agent_role::tracker;
+    a.tcnt = 2;
+    core_agent b = a;
+    b.phase = 4;
+    EXPECT_NE(canonical_code(a, cfg, census_mode::full),
+              canonical_code(b, cfg, census_mode::full));
+}
+
+TEST(CensusEncoding, ImprovedModeIncludesJuntaState) {
+    const auto cfg = protocol_config::make(algorithm_mode::improved, 1024, 4);
+    core_agent a;
+    a.role = agent_role::collector;
+    a.opinion = 2;
+    a.tokens = 1;
+    a.prune_phase = -static_cast<std::int16_t>(cfg.prune_hours);
+    core_agent b = a;
+    b.junta_level = 1;
+    EXPECT_NE(canonical_code(a, cfg, census_mode::full),
+              canonical_code(b, cfg, census_mode::full));
+}
+
+}  // namespace

@@ -1,0 +1,88 @@
+// Unit tests for the protocol configuration (core/config.h).
+#include <gtest/gtest.h>
+
+#include "core/config.h"
+
+namespace {
+
+using namespace plurality::core;
+
+TEST(Config, MakeFillsAutoFields) {
+    const auto cfg = protocol_config::make(algorithm_mode::ordered, 1024, 8);
+    EXPECT_GT(cfg.psi, 0u);
+    EXPECT_GE(cfg.majority_amplification, 8 * 1024);
+    EXPECT_GE(cfg.junta_level_cap, 1u);
+    EXPECT_EQ(cfg.leader_rounds, 0u);  // ordered mode has no election
+}
+
+TEST(Config, UnorderedRoundsAreCycleAligned) {
+    for (std::uint32_t n : {64u, 256u, 1024u, 65536u}) {
+        const auto cfg = protocol_config::make(algorithm_mode::unordered, n, 4);
+        EXPECT_GT(cfg.leader_rounds, 0u);
+        EXPECT_EQ(cfg.leader_rounds % cfg.phase_modulus(), 0u) << "n=" << n;
+    }
+}
+
+TEST(Config, PhaseModulusByMode) {
+    EXPECT_EQ(protocol_config::make(algorithm_mode::ordered, 256, 2).phase_modulus(), 10u);
+    EXPECT_EQ(protocol_config::make(algorithm_mode::unordered, 256, 2).phase_modulus(), 12u);
+    EXPECT_EQ(protocol_config::make(algorithm_mode::improved, 256, 2).phase_modulus(), 12u);
+}
+
+TEST(Config, WorkingPhasesAreEvenAndOrdered) {
+    for (auto mode : {algorithm_mode::ordered, algorithm_mode::unordered}) {
+        const auto cfg = protocol_config::make(mode, 512, 3);
+        EXPECT_EQ(cfg.setup_phase() % 2, 0u);
+        EXPECT_LT(cfg.setup_phase(), cfg.cancel_phase());
+        EXPECT_LT(cfg.cancel_phase(), cfg.lineup_phase());
+        EXPECT_LT(cfg.lineup_phase(), cfg.match_phase());
+        EXPECT_LT(cfg.match_phase(), cfg.conclude_phase());
+        EXPECT_LT(cfg.conclude_phase(), cfg.phase_modulus());
+    }
+}
+
+TEST(Config, ValidationRejectsBadParameters) {
+    protocol_config cfg;
+    cfg.mode = algorithm_mode::ordered;
+    cfg.n = 4;  // too small
+    cfg.k = 2;
+    EXPECT_THROW(cfg.finalize(), std::invalid_argument);
+
+    cfg.n = 1024;
+    cfg.k = 0;
+    EXPECT_THROW(cfg.finalize(), std::invalid_argument);
+
+    cfg.k = 1024;  // >= n: more opinions than agents
+    EXPECT_THROW(cfg.finalize(), std::invalid_argument);
+
+    cfg.k = 4;
+    cfg.token_cap = 1;
+    EXPECT_THROW(cfg.finalize(), std::invalid_argument);
+}
+
+TEST(Config, ExplicitValuesAreKept) {
+    protocol_config cfg;
+    cfg.mode = algorithm_mode::ordered;
+    cfg.n = 1024;
+    cfg.k = 4;
+    cfg.psi = 99;
+    cfg.majority_amplification = 1 << 20;
+    cfg.finalize();
+    EXPECT_EQ(cfg.psi, 99u);
+    EXPECT_EQ(cfg.majority_amplification, 1 << 20);
+}
+
+TEST(Config, PsiGrowsLogarithmically) {
+    const auto small = protocol_config::make(algorithm_mode::ordered, 256, 2);
+    const auto large = protocol_config::make(algorithm_mode::ordered, 1 << 20, 2);
+    EXPECT_GT(large.psi, small.psi);
+    EXPECT_LT(large.psi, 4 * small.psi);  // log-ish, not polynomial
+}
+
+TEST(Config, DefaultBudgetCoversMoreTournamentsForLargerK) {
+    const auto few = protocol_config::make(algorithm_mode::ordered, 1024, 2);
+    const auto many = protocol_config::make(algorithm_mode::ordered, 1024, 32);
+    EXPECT_GT(many.default_time_budget(), few.default_time_budget());
+}
+
+}  // namespace

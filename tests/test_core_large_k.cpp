@@ -1,0 +1,117 @@
+// End-to-end tests of the Appendix C extension: supporting k beyond
+// Theorem 1's k <= n/40 via slowed count decrements, counting agents and
+// (for k > n/2) recycling of never-matched singleton collectors.
+#include <gtest/gtest.h>
+
+#include "core/plurality_protocol.h"
+#include "core/result.h"
+#include "sim/multi_trial.h"
+#include "sim/simulation.h"
+#include "workload/opinion_distribution.h"
+
+namespace {
+
+using namespace plurality::core;
+using namespace plurality::workload;
+
+TEST(LargeK, AutoEnabledAboveTheoremLimit) {
+    EXPECT_FALSE(protocol_config::make(algorithm_mode::ordered, 2048, 16).large_k);
+    const auto cfg = protocol_config::make(algorithm_mode::ordered, 2048, 64);
+    EXPECT_TRUE(cfg.large_k);
+    EXPECT_GT(cfg.count_decrement_divisor, 1u);
+}
+
+TEST(LargeK, AcceptsKUpToNearN) {
+    EXPECT_NO_THROW((void)protocol_config::make(algorithm_mode::ordered, 256, 255));
+    EXPECT_THROW((void)protocol_config::make(algorithm_mode::ordered, 256, 256),
+                 std::invalid_argument);
+}
+
+TEST(LargeK, OrderedKOverEight) {
+    // k = n/8, far above n/40: every opinion has ~8 supporters, bias 1.
+    const std::uint32_t n = 512;
+    const std::uint32_t k = 64;
+    const auto cfg = protocol_config::make(algorithm_mode::ordered, n, k);
+    const auto dist = make_bias_one(n, k);
+    const auto summary = plurality::sim::run_trials(4, 0x1c0, [&](std::uint64_t seed) {
+        const auto r = run_to_consensus(cfg, dist, seed);
+        plurality::sim::trial_outcome out;
+        out.success = r.correct;
+        out.parallel_time = r.parallel_time;
+        return out;
+    });
+    EXPECT_GE(summary.successes + 1, summary.trials);
+}
+
+TEST(LargeK, UnorderedKOverEight) {
+    const std::uint32_t n = 512;
+    const std::uint32_t k = 64;
+    const auto cfg = protocol_config::make(algorithm_mode::unordered, n, k);
+    const auto dist = make_bias_one(n, k);
+    const auto summary = plurality::sim::run_trials(3, 0x1c1, [&](std::uint64_t seed) {
+        const auto r = run_to_consensus(cfg, dist, seed);
+        plurality::sim::trial_outcome out;
+        out.success = r.correct;
+        return out;
+    });
+    EXPECT_GE(summary.successes + 1, summary.trials);
+}
+
+TEST(LargeK, SingletonHeavyRegime) {
+    // k > n/2: singleton opinions are unavoidable; counting agents and the
+    // recycling rule keep the role pools populated.
+    const std::uint32_t n = 256;
+    const std::uint32_t k = 150;
+    const auto cfg = protocol_config::make(algorithm_mode::unordered, n, k);
+    const auto dist = make_bias_one(n, k);
+    ASSERT_EQ(dist.bias(), 1u);
+    const auto summary = plurality::sim::run_trials(3, 0x1c2, [&](std::uint64_t seed) {
+        const auto r = run_to_consensus(cfg, dist, seed);
+        plurality::sim::trial_outcome out;
+        out.success = r.correct;
+        return out;
+    });
+    EXPECT_GE(summary.successes + 1, summary.trials);
+}
+
+TEST(LargeK, RolePoolsFillDespiteSingletons) {
+    const std::uint32_t n = 512;
+    const std::uint32_t k = 300;
+    const auto cfg = protocol_config::make(algorithm_mode::unordered, n, k);
+    const auto dist = make_bias_one(n, k);
+    plurality::sim::rng setup(3);
+    plurality_protocol proto{cfg};
+    auto population = plurality_protocol::make_population(cfg, dist, setup);
+    plurality::sim::simulation<plurality_protocol> s{std::move(proto), std::move(population), 11};
+    const auto done = [](const auto& sim) { return init_finished(sim.agents()); };
+    ASSERT_TRUE(
+        s.run_until(done, static_cast<std::uint64_t>(cfg.default_time_budget()) * n).has_value());
+    s.run_for(30ull * n);
+    const auto counts = role_counts(s.agents());
+    // Appendix C's claim: every non-collector role ends with a constant
+    // fraction of the agents even though most opinions are singletons.
+    EXPECT_GE(counts[static_cast<std::size_t>(agent_role::clock)], n / 12);
+    EXPECT_GE(counts[static_cast<std::size_t>(agent_role::tracker)], n / 12);
+    EXPECT_GE(counts[static_cast<std::size_t>(agent_role::player)], n / 12);
+}
+
+TEST(LargeK, PluralityTokensSurviveModerateLargeK) {
+    // For n/40 < k <= n/2 the recycling rule must stay off: the plurality
+    // keeps all its tokens through initialization.
+    const std::uint32_t n = 512;
+    const std::uint32_t k = 64;
+    const auto cfg = protocol_config::make(algorithm_mode::ordered, n, k);
+    const auto dist = make_bias_one(n, k);
+    plurality::sim::rng setup(5);
+    plurality_protocol proto{cfg};
+    auto population = plurality_protocol::make_population(cfg, dist, setup);
+    plurality::sim::simulation<plurality_protocol> s{std::move(proto), std::move(population), 13};
+    const auto done = [](const auto& sim) { return init_finished(sim.agents()); };
+    ASSERT_TRUE(
+        s.run_until(done, static_cast<std::uint64_t>(cfg.default_time_budget()) * n).has_value());
+    s.run_for(30ull * n);
+    EXPECT_EQ(tokens_of_opinion(s.agents(), dist.plurality_opinion()),
+              dist.support_of(dist.plurality_opinion()));
+}
+
+}  // namespace

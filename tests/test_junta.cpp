@@ -1,0 +1,164 @@
+// Unit tests for junta election and the junta-driven phase clock (clocks/),
+// the ImprovedAlgorithm's preprocessing machinery (§4, Lemmas 6-9).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "clocks/junta.h"
+#include "clocks/junta_clock.h"
+#include "sim/rng.h"
+#include "sim/simulation.h"
+#include "util/math.h"
+
+namespace {
+
+using namespace plurality::clocks;
+using plurality::util::junta_max_level;
+
+TEST(Junta, StepAdvancesOnSameOrHigherLevel) {
+    junta_state u;  // level 0, active
+    junta_state v;  // level 0
+    junta_step(u, v, 4);
+    EXPECT_EQ(u.level, 1);
+    EXPECT_TRUE(u.active);
+    EXPECT_FALSE(u.member);
+}
+
+TEST(Junta, StepDeactivatesOnLowerLevel) {
+    junta_state u;
+    u.level = 3;
+    const junta_state v;  // level 0
+    junta_step(u, v, 5);
+    EXPECT_FALSE(u.active);
+    EXPECT_FALSE(u.member);
+    EXPECT_EQ(u.level, 3);  // level is kept for others to observe
+}
+
+TEST(Junta, ReachingMaxLevelJoinsJunta) {
+    junta_state u;
+    u.level = 2;
+    junta_state v;
+    v.level = 2;
+    junta_step(u, v, 3);
+    EXPECT_TRUE(u.member);
+    EXPECT_FALSE(u.active);
+    EXPECT_EQ(u.level, 3);
+}
+
+TEST(Junta, InactiveAgentsNeverChange) {
+    junta_state u;
+    u.active = false;
+    u.level = 1;
+    junta_state v;
+    v.level = 5;
+    junta_step(u, v, 8);
+    EXPECT_EQ(u.level, 1);
+    EXPECT_FALSE(u.member);
+}
+
+TEST(Junta, MaxLevelHelperMatchesPaper) {
+    // ℓmax = ⌊log2 log2 n⌋ - 2, clamped to >= 1.
+    EXPECT_EQ(junta_max_level(1u << 16, 2), 2u);  // loglog = 4
+    EXPECT_EQ(junta_max_level(1u << 8, 2), 1u);   // loglog = 3
+    EXPECT_EQ(junta_max_level(16, 2), 1u);        // clamped
+}
+
+class JuntaSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {};
+
+TEST_P(JuntaSweep, NonEmptyAndSublinear) {
+    const auto [n, offset] = GetParam();
+    const std::uint32_t ell_max = junta_max_level(n, offset);
+    plurality::sim::simulation<form_junta_protocol> s{form_junta_protocol{ell_max},
+                                                      std::vector<junta_agent>(n), 101 + n};
+    // Lemma 6/7: election finishes within O(n log n) interactions.
+    s.run_for(static_cast<std::uint64_t>(40.0 * n * std::log2(n)));
+    const std::size_t junta = junta_size(s.agents());
+    EXPECT_GE(junta, 1u);
+    // Claim 8's bound: |junta| <= x^0.98 (for both the paper's level offset
+    // and the more aggressive offset 0).
+    EXPECT_LE(static_cast<double>(junta), std::pow(static_cast<double>(n), 0.98));
+}
+
+TEST_P(JuntaSweep, ElectionTerminates) {
+    const auto [n, offset] = GetParam();
+    const std::uint32_t ell_max = junta_max_level(n, offset);
+    plurality::sim::simulation<form_junta_protocol> s{form_junta_protocol{ell_max},
+                                                      std::vector<junta_agent>(n), 7 + n};
+    s.run_for(static_cast<std::uint64_t>(40.0 * n * std::log2(n)));
+    // All agents settle: active agents vanish (they either joined the junta
+    // or got deactivated).
+    EXPECT_EQ(active_count(s.agents()), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, JuntaSweep,
+                         ::testing::Combine(::testing::Values(256u, 1024u, 4096u, 16384u),
+                                            ::testing::Values(0u, 2u)));
+
+TEST(JuntaClock, StepTakesMaxAndJuntaIncrements) {
+    junta_clock_state u{5};
+    const junta_clock_state v{9};
+    const auto hours = junta_clock_step(u, v, true, 4, 100);
+    EXPECT_EQ(u.p, 10u);  // max(5, 9+1)
+    EXPECT_EQ(hours, 1u);  // crossed ⌊p/4⌋: 1 -> 2
+}
+
+TEST(JuntaClock, NonJuntaOnlyPropagates) {
+    junta_clock_state u{5};
+    const junta_clock_state v{9};
+    (void)junta_clock_step(u, v, false, 4, 100);
+    EXPECT_EQ(u.p, 9u);
+}
+
+TEST(JuntaClock, CounterSaturatesAtCap) {
+    junta_clock_state u{39};
+    const junta_clock_state v{39};
+    const auto hours = junta_clock_step(u, v, true, 4, 10);  // cap = 40
+    EXPECT_EQ(u.p, 40u);
+    EXPECT_EQ(hours, 1u);
+    const auto more = junta_clock_step(u, v, true, 4, 10);
+    EXPECT_EQ(u.p, 40u);
+    EXPECT_EQ(more, 0u);
+}
+
+TEST(JuntaClock, HoursAreMonotone) {
+    plurality::sim::rng gen(3);
+    junta_clock_state u{0};
+    std::uint32_t last_total = 0;
+    std::uint32_t total = 0;
+    for (int i = 0; i < 1000; ++i) {
+        const junta_clock_state v{static_cast<std::uint32_t>(gen.next_below(64))};
+        total += junta_clock_step(u, v, gen.next_bool(), 8, 1000);
+        EXPECT_GE(total, last_total);
+        last_total = total;
+        EXPECT_EQ(total, u.p / 8);
+    }
+}
+
+TEST(JuntaClock, FullPipelineTicksAllAgents) {
+    const std::uint32_t n = 2048;
+    const std::uint32_t ell_max = junta_max_level(n, 2);
+    plurality::sim::simulation<junta_clock_protocol> s{junta_clock_protocol{ell_max, 8, 6},
+                                                       std::vector<junta_clock_agent>(n), 13};
+    s.run_for(static_cast<std::uint64_t>(300.0 * n * std::log2(n)));
+    EXPECT_GE(min_hours(s.agents()), 1u);
+    EXPECT_GE(max_hours(s.agents()), 4u);
+}
+
+TEST(JuntaClock, AgentsStayWithinOneHourOfEachOther) {
+    // Lemma 6 (4): the first agent reaches hour i+1 only after the last
+    // agent reached hour i — hours stay tightly grouped.
+    const std::uint32_t n = 2048;
+    const std::uint32_t ell_max = junta_max_level(n, 2);
+    plurality::sim::simulation<junta_clock_protocol> s{junta_clock_protocol{ell_max, 8, 50},
+                                                       std::vector<junta_clock_agent>(n), 17};
+    // Warm up past the junta election, then check repeatedly.
+    s.run_for(static_cast<std::uint64_t>(100.0 * n * std::log2(n)));
+    for (int probe = 0; probe < 20; ++probe) {
+        s.run_for(10ull * n);
+        EXPECT_LE(max_hours(s.agents()) - min_hours(s.agents()), 2u);
+    }
+}
+
+}  // namespace

@@ -1,0 +1,127 @@
+// Unit tests for the leaderless phase clock of [1] (clocks/leaderless_clock.h).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "clocks/leaderless_clock.h"
+#include "sim/rng.h"
+#include "sim/simulation.h"
+
+namespace {
+
+using namespace plurality::clocks;
+
+TEST(LeaderlessClock, CircularBehindBasics) {
+    EXPECT_TRUE(circular_behind(0, 1, 10));
+    EXPECT_TRUE(circular_behind(0, 5, 10));
+    EXPECT_FALSE(circular_behind(0, 6, 10));  // 6 ahead of 0 means 0 is... 6 away; > psi/2
+    EXPECT_FALSE(circular_behind(0, 0, 10));
+    EXPECT_TRUE(circular_behind(9, 0, 10));  // wrap-around
+    EXPECT_FALSE(circular_behind(0, 9, 10));
+}
+
+TEST(LeaderlessClock, LaggardIncrements) {
+    plurality::sim::rng gen(1);
+    std::uint32_t a = 3;
+    std::uint32_t b = 5;
+    const auto tick = leaderless_tick(a, b, 16, gen);
+    EXPECT_EQ(a, 4u);  // a was behind
+    EXPECT_EQ(b, 5u);
+    EXPECT_FALSE(tick.initiator_wrapped);
+    EXPECT_FALSE(tick.responder_wrapped);
+}
+
+TEST(LeaderlessClock, WrapDetected) {
+    plurality::sim::rng gen(2);
+    std::uint32_t a = 15;
+    std::uint32_t b = 2;  // a behind b in circular order mod 16
+    const auto tick = leaderless_tick(a, b, 16, gen);
+    EXPECT_EQ(a, 0u);
+    EXPECT_TRUE(tick.initiator_wrapped);
+}
+
+TEST(LeaderlessClock, ExactlyOneCounterMovesPerTick) {
+    plurality::sim::rng gen(3);
+    for (int i = 0; i < 1000; ++i) {
+        std::uint32_t a = gen.next_below(32);
+        std::uint32_t b = gen.next_below(32);
+        const std::uint32_t a0 = a;
+        const std::uint32_t b0 = b;
+        (void)leaderless_tick(a, b, 32, gen);
+        const std::uint32_t moved = (a != a0 ? 1u : 0u) + (b != b0 ? 1u : 0u);
+        EXPECT_EQ(moved, 1u);
+    }
+}
+
+TEST(LeaderlessClock, TieBrokenEitherWay) {
+    plurality::sim::rng gen(4);
+    int initiator_moves = 0;
+    for (int i = 0; i < 2000; ++i) {
+        std::uint32_t a = 7;
+        std::uint32_t b = 7;
+        (void)leaderless_tick(a, b, 16, gen);
+        if (a == 8) ++initiator_moves;
+    }
+    EXPECT_GT(initiator_moves, 800);
+    EXPECT_LT(initiator_moves, 1200);
+}
+
+TEST(LeaderlessClock, PopulationStaysSynchronized) {
+    const std::uint32_t n = 512;
+    const std::uint32_t psi = 40;
+    plurality::sim::simulation<leaderless_clock_protocol> s{
+        leaderless_clock_protocol{psi, 10}, std::vector<clock_agent>(n), 5};
+    s.run_for(200ull * n);
+    // After warm-up, all counters should be concentrated: spread well below
+    // half the circle.
+    EXPECT_LT(counter_spread(s.agents(), psi), psi / 2);
+}
+
+TEST(LeaderlessClock, PhasesAdvanceTogether) {
+    const std::uint32_t n = 512;
+    const std::uint32_t psi = 40;
+    plurality::sim::simulation<leaderless_clock_protocol> s{
+        leaderless_clock_protocol{psi, 10}, std::vector<clock_agent>(n), 6};
+    s.run_for(500ull * n);
+    std::uint64_t lo = ~0ull;
+    std::uint64_t hi = 0;
+    for (const auto& a : s.agents()) {
+        lo = std::min(lo, a.revolutions);
+        hi = std::max(hi, a.revolutions);
+    }
+    EXPECT_GT(hi, 2u);       // the clock does make progress
+    EXPECT_LE(hi - lo, 1u);  // and every agent is within one revolution
+}
+
+TEST(LeaderlessClock, RevolutionTimeScalesWithPsi) {
+    // Revolution time should grow linearly in psi: doubling psi roughly
+    // doubles the time per revolution.
+    const std::uint32_t n = 256;
+    auto revolutions_after = [n](std::uint32_t psi, std::uint64_t interactions) {
+        plurality::sim::simulation<leaderless_clock_protocol> s{
+            leaderless_clock_protocol{psi, 1000000}, std::vector<clock_agent>(n), 7};
+        s.run_for(interactions);
+        std::uint64_t hi = 0;
+        for (const auto& a : s.agents()) hi = std::max(hi, a.revolutions);
+        return hi;
+    };
+    const std::uint64_t fast = revolutions_after(20, 400ull * n);
+    const std::uint64_t slow = revolutions_after(40, 400ull * n);
+    EXPECT_GT(fast, slow);
+    EXPECT_NEAR(static_cast<double>(fast) / static_cast<double>(slow), 2.0, 0.8);
+}
+
+TEST(LeaderlessClock, CounterSpreadHelper) {
+    std::vector<clock_agent> agents(3);
+    agents[0].count = 0;
+    agents[1].count = 1;
+    agents[2].count = 2;
+    EXPECT_EQ(counter_spread(agents, 10), 2u);
+    agents[2].count = 9;  // 9,0,1 wraps: spread 2
+    EXPECT_EQ(counter_spread(agents, 10), 2u);
+    std::vector<clock_agent> one(1);
+    EXPECT_EQ(counter_spread(one, 10), 0u);
+}
+
+}  // namespace

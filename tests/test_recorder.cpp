@@ -1,0 +1,94 @@
+// Unit tests for the time-series recorder (trace/recorder.h).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "epidemic/epidemic.h"
+#include "sim/simulation.h"
+#include "trace/recorder.h"
+
+namespace {
+
+using plurality::epidemic::epidemic_agent;
+using plurality::epidemic::epidemic_protocol;
+using sim_t = plurality::sim::simulation<epidemic_protocol>;
+
+sim_t make_sim(std::uint32_t n) {
+    std::vector<epidemic_agent> agents(n);
+    agents[0] = {true, 1};
+    return {epidemic_protocol{}, std::move(agents), 9};
+}
+
+TEST(Recorder, SamplesAtCadence) {
+    auto s = make_sim(64);
+    plurality::trace::recorder<sim_t> rec(1.0);
+    rec.add_series("informed", [](const sim_t& sim) {
+        return static_cast<double>(plurality::epidemic::informed_count(sim.agents()));
+    });
+    for (int i = 0; i < 10; ++i) {
+        s.run_for(64);  // exactly one parallel-time unit
+        rec.maybe_sample(s);
+    }
+    EXPECT_GE(rec.samples(), 9u);
+    EXPECT_LE(rec.samples(), 10u);
+}
+
+TEST(Recorder, RespectsCadenceGap) {
+    auto s = make_sim(64);
+    plurality::trace::recorder<sim_t> rec(100.0);
+    rec.add_series("informed", [](const sim_t&) { return 0.0; });
+    for (int i = 0; i < 20; ++i) {
+        s.run_for(64);
+        rec.maybe_sample(s);
+    }
+    // 20 time units with cadence 100: only the first sample is taken.
+    EXPECT_EQ(rec.samples(), 1u);
+}
+
+TEST(Recorder, SeriesValuesAreMonotoneForEpidemic) {
+    auto s = make_sim(256);
+    plurality::trace::recorder<sim_t> rec(1.0);
+    rec.add_series("informed", [](const sim_t& sim) {
+        return static_cast<double>(plurality::epidemic::informed_count(sim.agents()));
+    });
+    while (plurality::epidemic::informed_count(s.agents()) < 256) {
+        s.run_for(64);
+        rec.maybe_sample(s);
+    }
+    const auto& col = rec.column(0);
+    for (std::size_t i = 1; i < col.size(); ++i) EXPECT_GE(col[i], col[i - 1]);
+    EXPECT_GT(col.back(), col.front());
+}
+
+TEST(Recorder, CsvOutput) {
+    auto s = make_sim(64);
+    plurality::trace::recorder<sim_t> rec(1.0);
+    rec.add_series("a", [](const sim_t&) { return 1.5; });
+    rec.add_series("b", [](const sim_t&) { return 2.5; });
+    s.run_for(64);
+    rec.maybe_sample(s);
+    std::ostringstream oss;
+    rec.write_csv(oss);
+    const std::string csv = oss.str();
+    EXPECT_NE(csv.find("parallel_time,a,b"), std::string::npos);
+    EXPECT_NE(csv.find(",1.5,2.5"), std::string::npos);
+}
+
+TEST(Recorder, MultipleSeriesStayAligned) {
+    auto s = make_sim(64);
+    plurality::trace::recorder<sim_t> rec(0.5);
+    rec.add_series("time_copy", [](const sim_t& sim) { return sim.parallel_time(); });
+    rec.add_series("const", [](const sim_t&) { return 7.0; });
+    for (int i = 0; i < 8; ++i) {
+        s.run_for(40);
+        rec.maybe_sample(s);
+    }
+    ASSERT_EQ(rec.column(0).size(), rec.times().size());
+    ASSERT_EQ(rec.column(1).size(), rec.times().size());
+    for (std::size_t i = 0; i < rec.times().size(); ++i) {
+        EXPECT_DOUBLE_EQ(rec.column(0)[i], rec.times()[i]);
+        EXPECT_DOUBLE_EQ(rec.column(1)[i], 7.0);
+    }
+}
+
+}  // namespace

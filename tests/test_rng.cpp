@@ -1,0 +1,119 @@
+// Unit tests for the deterministic RNG stack (sim/rng.h).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace {
+
+using plurality::sim::derive_seed;
+using plurality::sim::rng;
+using plurality::sim::splitmix64_next;
+
+TEST(Rng, SameSeedSameStream) {
+    rng a(42);
+    rng b(42);
+    for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams) {
+    rng a(1);
+    rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 1000; ++i)
+        if (a.next() == b.next()) ++equal;
+    EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ZeroSeedIsValid) {
+    rng gen(0);
+    std::set<std::uint64_t> values;
+    for (int i = 0; i < 100; ++i) values.insert(gen.next());
+    EXPECT_GT(values.size(), 95u);  // not stuck
+}
+
+TEST(Rng, SplitmixIsDeterministic) {
+    std::uint64_t s1 = 7;
+    std::uint64_t s2 = 7;
+    EXPECT_EQ(splitmix64_next(s1), splitmix64_next(s2));
+    EXPECT_EQ(s1, s2);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+    rng gen(123);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+        for (int i = 0; i < 200; ++i) EXPECT_LT(gen.next_below(bound), bound);
+    }
+}
+
+TEST(Rng, NextBelowOneAlwaysZero) {
+    rng gen(5);
+    for (int i = 0; i < 50; ++i) EXPECT_EQ(gen.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowRoughlyUniform) {
+    rng gen(2024);
+    constexpr std::uint64_t buckets = 16;
+    constexpr int draws = 160000;
+    std::array<int, buckets> counts{};
+    for (int i = 0; i < draws; ++i) ++counts[gen.next_below(buckets)];
+    const double expected = static_cast<double>(draws) / buckets;
+    for (int c : counts) {
+        EXPECT_NEAR(static_cast<double>(c), expected, 0.05 * expected);
+    }
+}
+
+TEST(Rng, NextUnitInHalfOpenInterval) {
+    rng gen(9);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = gen.next_unit();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, NextBoolIsFair) {
+    rng gen(77);
+    int heads = 0;
+    constexpr int flips = 100000;
+    for (int i = 0; i < flips; ++i)
+        if (gen.next_bool()) ++heads;
+    EXPECT_NEAR(heads, flips / 2, flips / 50);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+    rng gen(31);
+    constexpr int draws = 100000;
+    int hits = 0;
+    for (int i = 0; i < draws; ++i)
+        if (gen.next_bernoulli(0.3)) ++hits;
+    EXPECT_NEAR(hits, 0.3 * draws, 0.02 * draws);
+}
+
+TEST(Rng, DeriveSeedSeparatesStreams) {
+    const std::uint64_t base = 99;
+    std::set<std::uint64_t> seeds;
+    for (std::uint64_t i = 0; i < 1000; ++i) seeds.insert(derive_seed(base, i));
+    EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(Rng, DeriveSeedIsDeterministic) {
+    EXPECT_EQ(derive_seed(5, 17), derive_seed(5, 17));
+    EXPECT_NE(derive_seed(5, 17), derive_seed(5, 18));
+    EXPECT_NE(derive_seed(5, 17), derive_seed(6, 17));
+}
+
+TEST(Rng, StdShuffleCompatible) {
+    rng gen(11);
+    std::vector<int> values{1, 2, 3, 4, 5, 6, 7, 8};
+    std::shuffle(values.begin(), values.end(), gen);
+    std::vector<int> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, (std::vector<int>{1, 2, 3, 4, 5, 6, 7, 8}));
+}
+
+}  // namespace

@@ -1,0 +1,81 @@
+// Unit tests for the uniform random pairwise scheduler (sim/scheduler.h).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "analysis/stats.h"
+#include "sim/rng.h"
+#include "sim/scheduler.h"
+
+namespace {
+
+using plurality::sim::interaction_pair;
+using plurality::sim::rng;
+using plurality::sim::sample_pair;
+
+TEST(Scheduler, PairsAreDistinct) {
+    rng gen(3);
+    for (int i = 0; i < 100000; ++i) {
+        const interaction_pair p = sample_pair(gen, 7);
+        EXPECT_NE(p.initiator, p.responder);
+        EXPECT_LT(p.initiator, 7u);
+        EXPECT_LT(p.responder, 7u);
+    }
+}
+
+TEST(Scheduler, TwoAgentsAlwaysMeet) {
+    rng gen(4);
+    for (int i = 0; i < 1000; ++i) {
+        const interaction_pair p = sample_pair(gen, 2);
+        EXPECT_NE(p.initiator, p.responder);
+    }
+}
+
+TEST(Scheduler, InitiatorUniform) {
+    rng gen(8);
+    constexpr std::uint32_t n = 16;
+    constexpr int draws = 320000;
+    std::vector<std::uint64_t> counts(n, 0);
+    for (int i = 0; i < draws; ++i) ++counts[sample_pair(gen, n).initiator];
+    // Chi-square with 15 dof: 99.9th percentile is ~37.7.
+    EXPECT_LT(plurality::analysis::chi_square_uniform(counts), 40.0);
+}
+
+TEST(Scheduler, ResponderUniform) {
+    rng gen(9);
+    constexpr std::uint32_t n = 16;
+    constexpr int draws = 320000;
+    std::vector<std::uint64_t> counts(n, 0);
+    for (int i = 0; i < draws; ++i) ++counts[sample_pair(gen, n).responder];
+    EXPECT_LT(plurality::analysis::chi_square_uniform(counts), 40.0);
+}
+
+TEST(Scheduler, OrderedPairsUniform) {
+    rng gen(10);
+    constexpr std::uint32_t n = 8;
+    constexpr int draws = 560000;
+    std::vector<std::uint64_t> counts(n * n, 0);
+    for (int i = 0; i < draws; ++i) {
+        const interaction_pair p = sample_pair(gen, n);
+        ++counts[p.initiator * n + p.responder];
+    }
+    // Keep only the n(n-1) feasible ordered pairs.
+    std::vector<std::uint64_t> feasible;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        for (std::uint32_t j = 0; j < n; ++j) {
+            if (i == j) {
+                EXPECT_EQ(counts[i * n + j], 0u);
+            } else {
+                feasible.push_back(counts[i * n + j]);
+            }
+        }
+    }
+    // 55 dof: 99.9th percentile is ~90.
+    EXPECT_LT(plurality::analysis::chi_square_uniform(feasible), 95.0);
+}
+
+TEST(Scheduler, InteractionsPerTimeUnit) {
+    EXPECT_DOUBLE_EQ(plurality::sim::interactions_per_time_unit(1000), 1000.0);
+}
+
+}  // namespace

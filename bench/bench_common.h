@@ -3,44 +3,98 @@
 // of full protocol executions per iteration and reports the measured
 // quantities (parallel time, success rate, state counts, ...) as benchmark
 // counters; EXPERIMENTS.md records the resulting tables.
+//
+// Throughput accounting: every repeated-run helper also records how many
+// scheduler interactions were executed and how long the batch took on the
+// wall clock, and `report` publishes the ratio as the `interactions_per_sec`
+// counter.  That counter is the engine's primary performance metric — the
+// BENCH_*.json files track it across PRs.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <cerrno>
+#include <chrono>
 #include <cmath>
-
 #include <cstdint>
+#include <cstdlib>
 
 #include "core/plurality_protocol.h"
 #include "core/result.h"
-#include "sim/multi_trial.h"
+#include "sim/trial_executor.h"
 #include "workload/opinion_distribution.h"
 
 namespace plurality::bench {
+
+/// Process-wide trial executor for benchmark batches.
+///
+/// Thread count resolution: `$PLURALITY_BENCH_THREADS` if set (`0` means
+/// "hardware concurrency"), otherwise 1.  The default is sequential on
+/// purpose — recorded experiment timings must not depend on how loaded the
+/// benchmarking machine happens to be — while the env var lets a sweep like
+/// E14's end-to-end rows fan out without rebuilding.  Trial summaries are
+/// bitwise identical at every thread count, so correctness counters never
+/// depend on this setting.
+inline const sim::trial_executor& shared_executor() {
+    static const sim::trial_executor executor{[]() -> std::size_t {
+        if (const char* env = std::getenv("PLURALITY_BENCH_THREADS")) {
+            // More workers than this is certainly a typo, not a machine;
+            // letting it through would try to spawn that many real threads.
+            constexpr long max_threads = 256;
+            char* end = nullptr;
+            errno = 0;
+            const long parsed = std::strtol(env, &end, 10);
+            if (errno == 0 && end != env && *end == '\0' && parsed >= 0 &&
+                parsed <= max_threads) {
+                return static_cast<std::size_t>(parsed);  // 0 => hardware concurrency
+            }
+            // Unparseable, negative, or absurd: keep the sequential default
+            // rather than silently fanning out (or crashing in the pool).
+        }
+        return 1;
+    }()};
+    return executor;
+}
 
 /// Aggregate of repeated protocol executions on one instance.
 struct repeated_runs {
     double mean_parallel_time = 0.0;
     double success_rate = 0.0;
     std::size_t trials = 0;
+    std::uint64_t total_interactions = 0;  ///< across all trials
+    double wall_seconds = 0.0;             ///< wall clock for the whole batch
+    std::size_t threads = 1;               ///< executor fan-out used
+
+    [[nodiscard]] double interactions_per_second() const noexcept {
+        return wall_seconds > 0.0 ? static_cast<double>(total_interactions) / wall_seconds : 0.0;
+    }
 };
 
-/// Runs `trials` executions of the configured protocol on `dist` and
-/// aggregates correctness and (successful-run) parallel time.
+/// Runs `trials` executions of the configured protocol on `dist` through
+/// `executor` and aggregates correctness, (successful-run) parallel time,
+/// and throughput.  Sweeps that exercise trial-level scaling pass their own
+/// executor; everything else shares the process-wide one.
 inline repeated_runs run_repeated(const core::protocol_config& cfg,
                                   const workload::opinion_distribution& dist, std::size_t trials,
-                                  std::uint64_t base_seed) {
-    const auto summary = sim::run_trials(trials, base_seed, [&](std::uint64_t seed) {
+                                  std::uint64_t base_seed,
+                                  const sim::trial_executor& executor = shared_executor()) {
+    const auto started = std::chrono::steady_clock::now();
+    const auto summary = executor.run(trials, base_seed, [&](std::uint64_t seed) {
         const auto r = core::run_to_consensus(cfg, dist, seed);
         sim::trial_outcome out;
         out.success = r.correct;
         out.parallel_time = r.parallel_time;
+        out.interactions = r.interactions;
         return out;
     });
+    const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - started;
     repeated_runs agg;
     agg.mean_parallel_time = summary.time_stats.mean;
     agg.success_rate = summary.success_rate();
     agg.trials = trials;
+    agg.total_interactions = summary.total_interactions;
+    agg.wall_seconds = elapsed.count();
+    agg.threads = executor.threads();
     return agg;
 }
 
@@ -49,6 +103,10 @@ inline void report(benchmark::State& state, const repeated_runs& runs) {
     state.counters["parallel_time"] = runs.mean_parallel_time;
     state.counters["success_rate"] = runs.success_rate;
     state.counters["trials"] = static_cast<double>(runs.trials);
+    state.counters["interactions"] = static_cast<double>(runs.total_interactions);
+    state.counters["wall_seconds"] = runs.wall_seconds;
+    state.counters["interactions_per_sec"] = runs.interactions_per_second();
+    state.counters["threads"] = static_cast<double>(runs.threads);
 }
 
 }  // namespace plurality::bench

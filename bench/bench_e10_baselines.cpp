@@ -9,7 +9,7 @@
 #include "baselines/usd_plurality.h"
 #include "bench_common.h"
 #include "majority/stable_four_state.h"
-#include "sim/multi_trial.h"
+#include "sim/trial_executor.h"
 #include "sim/simulation.h"
 
 namespace {
@@ -42,7 +42,7 @@ void BM_Usd_BiasOne(benchmark::State& state) {
     const auto k = static_cast<std::uint32_t>(state.range(0));
     const auto dist = instance(k);
     for (auto _ : state) {
-        const auto summary = sim::run_trials(30, 0xea100 + k, [&](std::uint64_t seed) {
+        const auto summary = bench::shared_executor().run(30, 0xea100 + k, [&](std::uint64_t seed) {
             const auto r = baselines::run_usd(dist, seed, 8000.0);
             sim::trial_outcome out;
             out.success = r.correct;
@@ -60,7 +60,7 @@ void BM_Usd_LargeBias(benchmark::State& state) {
     const std::uint32_t n = 2049;
     const auto dist = workload::make_bias_one(n, k, n / 4);
     for (auto _ : state) {
-        const auto summary = sim::run_trials(10, 0xea200 + k, [&](std::uint64_t seed) {
+        const auto summary = bench::shared_executor().run(10, 0xea200 + k, [&](std::uint64_t seed) {
             const auto r = baselines::run_usd(dist, seed, 8000.0);
             sim::trial_outcome out;
             out.success = r.correct;
@@ -79,7 +79,7 @@ void BM_StableFourState_BiasOne(benchmark::State& state) {
     const auto n = static_cast<std::uint32_t>(state.range(0));
     using namespace plurality::majority;
     for (auto _ : state) {
-        const auto summary = sim::run_trials(5, 0xea300 + n, [&](std::uint64_t seed) {
+        const auto summary = bench::shared_executor().run(5, 0xea300 + n, [&](std::uint64_t seed) {
             auto agents = make_four_state_population(n / 2 + 1, n / 2 - 1);
             sim::simulation<stable_four_state_protocol> s{stable_four_state_protocol{},
                                                           std::move(agents), seed};

@@ -7,7 +7,8 @@
 #include <vector>
 
 #include "loadbalance/load_balancer.h"
-#include "sim/multi_trial.h"
+#include "bench/bench_common.h"
+#include "sim/trial_executor.h"
 #include "sim/rng.h"
 
 namespace {
@@ -18,7 +19,7 @@ using namespace plurality::loadbalance;
 void BM_Balance_RandomLoads(benchmark::State& state) {
     const auto n = static_cast<std::uint32_t>(state.range(0));
     for (auto _ : state) {
-        const auto summary = sim::run_trials(10, 0xeb000 + n, [&](std::uint64_t seed) {
+        const auto summary = bench::shared_executor().run(10, 0xeb000 + n, [&](std::uint64_t seed) {
             sim::rng gen(seed);
             std::vector<std::int64_t> loads(n);
             for (auto& l : loads) l = static_cast<std::int64_t>(gen.next_below(21)) - 10;
@@ -49,7 +50,7 @@ void BM_Balance_TournamentShape(benchmark::State& state) {
     const std::uint32_t n = 2048;
     const auto bias = static_cast<std::int64_t>(state.range(0));
     for (auto _ : state) {
-        const auto summary = sim::run_trials(10, 0xeb500 + bias, [&](std::uint64_t seed) {
+        const auto summary = bench::shared_executor().run(10, 0xeb500 + bias, [&](std::uint64_t seed) {
             std::vector<std::int64_t> loads(n, 0);
             const std::size_t blocks = n / 8;
             for (std::size_t i = 0; i < blocks; ++i) loads[i] = 10;

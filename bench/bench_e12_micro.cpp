@@ -9,7 +9,8 @@
 
 #include "core/plurality_protocol.h"
 #include "epidemic/epidemic.h"
-#include "sim/multi_trial.h"
+#include "bench/bench_common.h"
+#include "sim/trial_executor.h"
 #include "sim/rng.h"
 #include "sim/scheduler.h"
 #include "sim/simulation.h"
@@ -73,7 +74,7 @@ BENCHMARK(BM_EngineThroughput_Tournament);
 void BM_BroadcastTime(benchmark::State& state) {
     const auto n = static_cast<std::uint32_t>(state.range(0));
     for (auto _ : state) {
-        const auto summary = sim::run_trials(10, 0xec000 + n, [n](std::uint64_t seed) {
+        const auto summary = bench::shared_executor().run(10, 0xec000 + n, [n](std::uint64_t seed) {
             sim::trial_outcome out;
             out.success = true;
             out.parallel_time = epidemic::measure_broadcast_time(n, 1, seed);

@@ -10,7 +10,8 @@
 #include "majority/averaging_majority.h"
 #include "majority/cancel_double.h"
 #include "majority/three_state.h"
-#include "sim/multi_trial.h"
+#include "bench/bench_common.h"
+#include "sim/trial_executor.h"
 #include "sim/simulation.h"
 
 namespace {
@@ -38,7 +39,7 @@ void BM_ThreeState(benchmark::State& state) {
     const std::uint32_t minus = (population - bias) / 2;
     const std::uint32_t plus = population - minus;
     for (auto _ : state) {
-        const auto summary = sim::run_trials(20, 0xe8100 + bias, [&](std::uint64_t seed) {
+        const auto summary = bench::shared_executor().run(20, 0xe8100 + bias, [&](std::uint64_t seed) {
             auto agents = make_three_state_population(plus, minus, 0);
             sim::simulation<three_state_protocol> s{three_state_protocol{}, std::move(agents),
                                                     seed};
@@ -63,7 +64,7 @@ void BM_Averaging(benchmark::State& state) {
     const std::uint32_t plus = population - minus;
     const std::int64_t amp = default_amplification(population);
     for (auto _ : state) {
-        const auto summary = sim::run_trials(20, 0xe8200 + bias, [&](std::uint64_t seed) {
+        const auto summary = bench::shared_executor().run(20, 0xe8200 + bias, [&](std::uint64_t seed) {
             auto agents = make_averaging_population(plus, minus, 0, amp);
             sim::simulation<averaging_majority_protocol> s{averaging_majority_protocol{},
                                                            std::move(agents), seed};
@@ -91,7 +92,7 @@ void BM_CancelDouble(benchmark::State& state) {
     const std::uint32_t plus = population - minus;
     const std::uint8_t cap = default_level_cap(population);
     for (auto _ : state) {
-        const auto summary = sim::run_trials(20, 0xe8300 + bias, [&](std::uint64_t seed) {
+        const auto summary = bench::shared_executor().run(20, 0xe8300 + bias, [&](std::uint64_t seed) {
             auto agents = make_cancel_double_population(plus, minus, 0);
             sim::simulation<cancel_double_protocol> s{cancel_double_protocol{cap},
                                                       std::move(agents), seed};

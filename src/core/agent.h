@@ -26,57 +26,70 @@ enum class lifecycle_stage : std::uint8_t { init = 0, electing = 1, tournaments 
 /// What a tracker's announcement (unordered modes) refers to.
 enum class announcement_kind : std::uint8_t { none = 0, defender = 1, challenger = 2 };
 
-struct core_agent {
-    // -- shared variables (every role) --------------------------------------
+// Fields are declared in descending size order (8 → 4 → 2 → 1 bytes) so the
+// struct carries no interior padding and the whole agent occupies exactly one
+// 64-byte cache line — the hot loop touches two random agents per
+// interaction, so each interaction costs exactly two cache lines.  The
+// logical role-grouping of §3.4 is kept in the comments; the census encoding
+// (census_encoding.h) remains the authority on which role owns which slice.
+struct alignas(64) core_agent {
+    // -- 8-byte -----------------------------------------------------------------
+    std::int64_t maj_load = 0;  ///< player: averaging-majority state (S_maj)
+
+    // -- 4-byte -----------------------------------------------------------------
+    std::uint32_t opinion = 0;  ///< collector: 1..k (0 once the opinion was given up)
+    std::uint32_t count = 0;    ///< clock: init counting, then the leaderless clock counter
+    std::uint32_t tcnt = 0;     ///< tracker (ordered): tournament counter 1..k+1
+    std::uint32_t cand_opinion = 0;  ///< tracker: sampled not-yet-participating opinion
+    std::uint32_t ann_opinion = 0;   ///< tracker: opinion announced by the leader
+    std::uint32_t leader_cycle = 0;  ///< tracker: leader's own tournament-cycle counter
+    std::uint32_t junta_p = 0;       ///< pruning: junta-driven phase-clock counter
+
+    // -- 2-byte -----------------------------------------------------------------
+    std::uint16_t le_rounds = 0;   ///< tracker: leader-election round counter
+    std::int16_t prune_phase = 0;  ///< pruning: starts at -c; 0 triggers the tournaments
+
+    // -- 1-byte -----------------------------------------------------------------
+    // shared variables (every role):
     agent_role role = agent_role::collector;
     lifecycle_stage stage = lifecycle_stage::init;
-    std::uint8_t phase = 0;         ///< tournament phase in [0, phase_modulus)
-    std::uint8_t once_flags = 0;    ///< per-phase do-once bits (Algorithm 4)
-    bool ever_initiated = false;    ///< Algorithm 3 line 1
-    bool winner = false;            ///< final-broadcast bit (§3.4 aftermath)
-
-    // -- collector variables -------------------------------------------------
-    std::uint32_t opinion = 0;  ///< 1..k (0 once the opinion was given up)
+    std::uint8_t phase = 0;       ///< tournament phase in [0, phase_modulus)
+    std::uint8_t once_flags = 0;  ///< per-phase do-once bits (Algorithm 4)
+    bool ever_initiated = false;  ///< Algorithm 3 line 1
+    bool winner = false;          ///< final-broadcast bit (§3.4 aftermath)
+    // collector variables:
     std::uint8_t tokens = 0;
     bool defender = false;
     bool challenger = false;
     bool participated = false;  ///< opinion has been in a tournament (Appendix B)
     std::int8_t load = 0;       ///< ℓ in [-token_cap, token_cap]
-
-    // -- clock variables ------------------------------------------------------
-    std::uint32_t count = 0;  ///< init counting, then the leaderless clock counter
-
-    // -- tracker variables ----------------------------------------------------
-    std::uint32_t tcnt = 0;  ///< ordered: tournament counter 1..k+1
-    // leader election (unordered/improved):
+    // tracker variables — leader election (unordered/improved):
     bool candidate = false;
     bool coin = false;
     bool saw_one = false;
     bool is_leader = false;
     bool finished = false;  ///< leader found no further challenger
-    std::uint16_t le_rounds = 0;
-    // challenger selection (unordered/improved):
-    std::uint32_t cand_opinion = 0;  ///< sampled not-yet-participating opinion
-    std::uint32_t ann_opinion = 0;   ///< opinion announced by the leader
+    // tracker variables — challenger selection (unordered/improved):
     announcement_kind ann_kind = announcement_kind::none;
-    std::uint32_t leader_cycle = 0;  ///< leader's own tournament-cycle counter
-    bool visited_select = false;     ///< leader passed through the select phase
-
-    // -- player variables -------------------------------------------------------
+    bool visited_select = false;  ///< leader passed through the select phase
+    // player variables:
     player_side po = player_side::undecided;  ///< playeropinion
-    std::int64_t maj_load = 0;                ///< averaging-majority state (S_maj)
-
-    // -- pruning variables (ImprovedAlgorithm, Algorithm 5) ----------------------
+    // pruning variables (ImprovedAlgorithm, Algorithm 5):
     std::uint8_t junta_level = 0;
     bool junta_active = true;
     bool junta_member = false;
-    std::uint32_t junta_p = 0;      ///< junta-driven phase-clock counter
-    std::int16_t prune_phase = 0;   ///< starts at -c; 0 triggers the tournament start
-
-    // -- Appendix C (large k) -----------------------------------------------------
-    bool counting = false;           ///< counting agent (formed by a 1+1 token merge)
-    bool met_same_opinion = false;   ///< collector ever met its own opinion
+    // Appendix C (large k):
+    bool counting = false;          ///< counting agent (formed by a 1+1 token merge)
+    bool met_same_opinion = false;  ///< collector ever met its own opinion
 };
+
+// The hot-path cost model above (two cache lines per interaction) only holds
+// while the agent stays within one line; growing past 64 bytes is a
+// measurable regression, not a style issue, so it fails the build.  The
+// alignas keeps vector elements line-aligned — without it 64 bytes at 8-byte
+// alignment would still straddle two lines for most allocation bases.
+static_assert(sizeof(core_agent) == 64, "core_agent must stay within one cache line");
+static_assert(alignof(core_agent) == 64, "core_agent must be cache-line aligned");
 
 /// Do-once bits used within the conclusion phase (Algorithm 4, lines 17-21).
 inline constexpr std::uint8_t once_saw_challenger_win = 1u << 0;

@@ -4,21 +4,7 @@ namespace plurality::sim {
 
 trial_summary run_trials(std::size_t trials, std::uint64_t base_seed,
                          const std::function<trial_outcome(std::uint64_t seed)>& trial) {
-    trial_summary summary;
-    summary.trials = trials;
-    analysis::accumulator times;
-    analysis::accumulator aux;
-    for (std::size_t i = 0; i < trials; ++i) {
-        const trial_outcome out = trial(derive_seed(base_seed, i));
-        if (out.success) {
-            ++summary.successes;
-            times.add(out.parallel_time);
-        }
-        aux.add(out.auxiliary);
-    }
-    summary.time_stats = times.summary();
-    summary.auxiliary_stats = aux.summary();
-    return summary;
+    return trial_executor{1}.run(trials, base_seed, trial);
 }
 
 }  // namespace plurality::sim

@@ -1,41 +1,25 @@
-// Repeated-trial driver: runs a randomized experiment many times with
-// independent derived seeds and aggregates the per-trial measurements.
+// Source-compatibility wrapper over the trial execution engine
+// (sim/trial_executor.h), which owns the trial_outcome / trial_summary types
+// and the parallel fan-out.
 //
-// Population protocols give "with high probability" guarantees; a single run
-// proves little.  Every experiment in `bench/` and most integration tests go
-// through this driver.
+// `run_trials` remains deliberately sequential: its `std::function` callers
+// routinely capture and mutate local state (collecting per-trial samples,
+// recording seeds), which is unsafe to invoke from pool workers.  Callers
+// whose trial body is a pure function of the seed should use
+// `trial_executor` directly and pick a thread count.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <vector>
 
-#include "analysis/stats.h"
-#include "sim/rng.h"
+#include "sim/trial_executor.h"
 
 namespace plurality::sim {
 
-/// Outcome of one randomized trial.
-struct trial_outcome {
-    bool success = false;          ///< did the protocol reach the correct output?
-    double parallel_time = 0.0;    ///< parallel time at convergence (or budget)
-    double auxiliary = 0.0;        ///< experiment-specific extra measurement
-};
-
-/// Aggregated view over many trials.
-struct trial_summary {
-    std::size_t trials = 0;
-    std::size_t successes = 0;
-    analysis::summary_stats time_stats;       ///< over successful trials
-    analysis::summary_stats auxiliary_stats;  ///< over all trials
-
-    [[nodiscard]] double success_rate() const noexcept {
-        return trials == 0 ? 0.0 : static_cast<double>(successes) / static_cast<double>(trials);
-    }
-};
-
-/// Runs `trials` independent executions of `trial`, feeding each a distinct
-/// seed derived from `base_seed`, and aggregates the outcomes.
+/// Runs `trials` independent executions of `trial` on the calling thread,
+/// feeding each a distinct seed derived from `base_seed`, and aggregates the
+/// outcomes.  Identical summary to `trial_executor::run` at any thread count
+/// (same seed derivation, same index-ordered aggregation).
 [[nodiscard]] trial_summary run_trials(std::size_t trials, std::uint64_t base_seed,
                                        const std::function<trial_outcome(std::uint64_t seed)>& trial);
 

@@ -1,5 +1,16 @@
 #include "sim/scheduler.h"
 
-// Header-only functionality; this translation unit exists so the module has a
-// home for future out-of-line additions and so the library always archives.
-namespace plurality::sim {}
+namespace plurality::sim {
+
+void block_scheduler::refill(rng& gen) noexcept {
+    // One bounded draw per pair via the chained-multiply decode of
+    // sample_pair (see scheduler.h): no division, and Lemire's rejection
+    // step almost never retries for realistic n, so the loop is dominated
+    // by the xoshiro state update and two widening multiplies — all of
+    // which pipeline well when not interleaved with protocol transitions.
+    for (auto& slot : buffer_) slot = sample_pair(gen, n_);
+    pos_ = 0;
+    filled_ = static_cast<std::uint32_t>(buffer_.size());
+}
+
+}  // namespace plurality::sim

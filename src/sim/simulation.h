@@ -42,11 +42,24 @@ public:
     /// Takes ownership of the protocol instance (its parameters) and the
     /// initial configuration.  Requires at least two agents.
     simulation(P proto, std::vector<agent_t> agents, std::uint64_t seed)
-        : protocol_(std::move(proto)), agents_(std::move(agents)), gen_(seed) {}
+        : protocol_(std::move(proto)),
+          agents_(std::move(agents)),
+          gen_(seed),
+          scheduler_(static_cast<std::uint32_t>(agents_.size())) {}
 
     /// Executes exactly one interaction.
+    ///
+    /// Pairs come from the block scheduler, which pre-draws them in batches;
+    /// whenever the upcoming pair is already known its two agents are
+    /// prefetched so the interaction's loads hit cache.  The trajectory is
+    /// the same whether callers step one interaction at a time or through
+    /// `run_for` — the pair stream depends only on the seed.
     void step() {
-        const auto pair = sample_pair(gen_, static_cast<std::uint32_t>(agents_.size()));
+        const interaction_pair pair = scheduler_.next(gen_);
+        if (const interaction_pair* upcoming = scheduler_.peek()) {
+            prefetch_agent(agents_.data() + upcoming->initiator);
+            prefetch_agent(agents_.data() + upcoming->responder);
+        }
         protocol_.interact(agents_[pair.initiator], agents_[pair.responder], gen_);
         ++interactions_;
     }
@@ -94,6 +107,7 @@ private:
     P protocol_;
     std::vector<agent_t> agents_;
     rng gen_;
+    block_scheduler scheduler_;
     std::uint64_t interactions_ = 0;
 };
 

@@ -1,0 +1,81 @@
+#include "sim/thread_pool.h"
+
+#include <utility>
+
+namespace plurality::sim {
+
+thread_pool::thread_pool(std::size_t threads) {
+    if (threads == 0) threads = default_thread_count();
+    workers_.reserve(threads);
+    try {
+        for (std::size_t i = 0; i < threads; ++i) {
+            workers_.emplace_back([this] { worker_loop(); });
+        }
+    } catch (...) {
+        // Spawning worker i can fail (std::system_error under thread
+        // exhaustion).  Already-started workers are parked on the condition
+        // variable; they must be woken and joined before the vector destroys
+        // joinable threads (which would std::terminate).
+        {
+            const std::lock_guard lock(mutex_);
+            stopping_ = true;
+        }
+        work_available_.notify_all();
+        for (auto& worker : workers_) worker.join();
+        throw;
+    }
+}
+
+thread_pool::~thread_pool() {
+    {
+        const std::lock_guard lock(mutex_);
+        stopping_ = true;
+    }
+    work_available_.notify_all();
+    for (auto& worker : workers_) worker.join();
+}
+
+void thread_pool::submit(std::function<void()> job) {
+    {
+        const std::lock_guard lock(mutex_);
+        queue_.push_back(std::move(job));
+        ++in_flight_;
+    }
+    work_available_.notify_one();
+}
+
+void thread_pool::wait_idle() {
+    std::unique_lock lock(mutex_);
+    idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+std::size_t thread_pool::default_thread_count() noexcept {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+void thread_pool::worker_loop() {
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock lock(mutex_);
+            work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) return;  // stopping_ and drained
+            job = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        // Jobs own their error handling (see submit()); an exception escaping
+        // here must not abort the process, and in_flight_ must be decremented
+        // on every path or wait_idle would hang on the lost job.
+        try {
+            job();
+        } catch (...) {
+        }
+        {
+            const std::lock_guard lock(mutex_);
+            if (--in_flight_ == 0) idle_.notify_all();
+        }
+    }
+}
+
+}  // namespace plurality::sim

@@ -1,0 +1,60 @@
+// A small fixed-size worker pool for trial-level parallelism.
+//
+// The simulation engine parallelizes at the granularity of whole trials
+// (each trial owns an independent seed-derived random stream), so the pool
+// only needs a plain task queue: no futures, no work stealing.  Workers are
+// started once and reused across `trial_executor::run` calls to amortize
+// thread creation over the thousands of trials a benchmark sweep runs.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace plurality::sim {
+
+class thread_pool {
+public:
+    /// Starts `threads` workers.  `threads == 0` resolves to
+    /// `default_thread_count()`.
+    explicit thread_pool(std::size_t threads = 0);
+
+    /// Drains outstanding work, then joins all workers.
+    ~thread_pool();
+
+    thread_pool(const thread_pool&) = delete;
+    thread_pool& operator=(const thread_pool&) = delete;
+
+    /// Enqueues a job.  Jobs must not themselves block on the pool, and are
+    /// expected to handle their own errors: an exception escaping a job is
+    /// swallowed by the worker (the job still counts as finished for
+    /// wait_idle).  Callers that need error propagation capture an
+    /// exception_ptr inside the job, as trial_executor does.
+    void submit(std::function<void()> job);
+
+    /// Blocks until every submitted job has finished executing.
+    void wait_idle();
+
+    [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+    /// Hardware concurrency with a floor of 1 (hardware_concurrency() may
+    /// legally report 0).
+    [[nodiscard]] static std::size_t default_thread_count() noexcept;
+
+private:
+    void worker_loop();
+
+    std::mutex mutex_;
+    std::condition_variable work_available_;
+    std::condition_variable idle_;
+    std::deque<std::function<void()>> queue_;
+    std::size_t in_flight_ = 0;  ///< queued + currently executing jobs
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+};
+
+}  // namespace plurality::sim

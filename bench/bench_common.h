@@ -56,6 +56,27 @@ inline const sim::trial_executor& shared_executor() {
     return executor;
 }
 
+/// Trial-count resolution for repeated-run batches: the experiment's
+/// hard-coded count by default, `$PLURALITY_BENCH_TRIALS` when set (mirrors
+/// `PLURALITY_BENCH_THREADS`).  Raising it tightens the success-rate
+/// estimates of recorded tables without a rebuild; the env var wins over
+/// every per-experiment constant.
+inline std::size_t bench_trials(std::size_t fallback) {
+    static const long parsed = []() -> long {
+        if (const char* env = std::getenv("PLURALITY_BENCH_TRIALS")) {
+            constexpr long max_trials = 1'000'000;  // beyond this is a typo, not a sweep
+            char* end = nullptr;
+            errno = 0;
+            const long value = std::strtol(env, &end, 10);
+            if (errno == 0 && end != env && *end == '\0' && value > 0 && value <= max_trials) {
+                return value;
+            }
+        }
+        return 0;  // unset or unparseable: keep per-experiment defaults
+    }();
+    return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
 /// Aggregate of repeated protocol executions on one instance.
 struct repeated_runs {
     double mean_parallel_time = 0.0;
@@ -78,6 +99,7 @@ inline repeated_runs run_repeated(const core::protocol_config& cfg,
                                   const workload::opinion_distribution& dist, std::size_t trials,
                                   std::uint64_t base_seed,
                                   const sim::trial_executor& executor = shared_executor()) {
+    trials = bench_trials(trials);
     const auto started = std::chrono::steady_clock::now();
     const auto summary = executor.run(trials, base_seed, [&](std::uint64_t seed) {
         const auto r = core::run_to_consensus(cfg, dist, seed);

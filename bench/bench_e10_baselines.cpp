@@ -2,30 +2,44 @@
 // tournament protocol is correct while undecided-state dynamics coin-flips;
 // the always-correct 4-state majority is exact too but pays Θ(n)-ish time at
 // bias 1 (k = 2), which is the cost the paper's w.h.p. protocols avoid.
+//
+// The baseline rows run through the scenario registry — the same entry
+// points as plurality_run — so this benchmark adds no private setup or
+// convergence code.
 #include <benchmark/benchmark.h>
 
-#include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
-#include "baselines/usd_plurality.h"
 #include "bench_common.h"
-#include "majority/stable_four_state.h"
-#include "sim/trial_executor.h"
-#include "sim/simulation.h"
+#include "scenario/registry.h"
+#include "scenario/runner.h"
 
 namespace {
 
 using namespace plurality;
 using namespace plurality::bench;
 
-// Bias-1 instances with k opinions; odd population so bias 1 is feasible
-// at k = 2 as well.
-workload::opinion_distribution instance(std::uint32_t k) {
-    return workload::make_bias_one(2049, k);
+constexpr std::uint32_t population = 2049;  // odd: bias 1 feasible at k = 2
+
+const scenario::any_scenario& baseline(const char* name) {
+    const auto* s = scenario::scenario_registry::instance().find(name);
+    if (s == nullptr) {
+        std::fprintf(stderr, "E10: scenario '%s' is not registered\n", name);
+        std::abort();
+    }
+    return *s;
+}
+
+void report_scenario(benchmark::State& state, const scenario::scenario_run_summary& summary) {
+    state.counters["success_rate"] = summary.success_rate();
+    state.counters["parallel_time"] = summary.time_stats.mean;
+    state.counters["trials"] = static_cast<double>(summary.trials);
 }
 
 void BM_ExactTournaments_BiasOne(benchmark::State& state) {
     const auto k = static_cast<std::uint32_t>(state.range(0));
-    const auto dist = instance(k);
+    const auto dist = workload::make_bias_one(population, k);
     const auto cfg = core::protocol_config::make(core::algorithm_mode::ordered, dist.n(), k);
     for (auto _ : state) {
         const auto runs = run_repeated(cfg, dist, 10, 0xea000 + k);
@@ -40,35 +54,27 @@ BENCHMARK(BM_ExactTournaments_BiasOne)
 
 void BM_Usd_BiasOne(benchmark::State& state) {
     const auto k = static_cast<std::uint32_t>(state.range(0));
-    const auto dist = instance(k);
+    scenario::scenario_params params;
+    params.n = population;
+    params.k = k;
     for (auto _ : state) {
-        const auto summary = bench::shared_executor().run(30, 0xea100 + k, [&](std::uint64_t seed) {
-            const auto r = baselines::run_usd(dist, seed, 8000.0);
-            sim::trial_outcome out;
-            out.success = r.correct;
-            out.parallel_time = r.parallel_time;
-            return out;
-        });
-        state.counters["success_rate"] = summary.success_rate();
-        state.counters["parallel_time"] = summary.time_stats.mean;
+        const auto result = scenario::run_scenario_trials(
+            baseline("baselines/usd"), params, bench_trials(30), 0xea100 + k, shared_executor());
+        report_scenario(state, result.summary);
     }
 }
 BENCHMARK(BM_Usd_BiasOne)->Arg(2)->Arg(5)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 void BM_Usd_LargeBias(benchmark::State& state) {
     const auto k = static_cast<std::uint32_t>(state.range(0));
-    const std::uint32_t n = 2049;
-    const auto dist = workload::make_bias_one(n, k, n / 4);
+    scenario::scenario_params params;
+    params.n = population;
+    params.k = k;
+    params.bias = population / 4;
     for (auto _ : state) {
-        const auto summary = bench::shared_executor().run(10, 0xea200 + k, [&](std::uint64_t seed) {
-            const auto r = baselines::run_usd(dist, seed, 8000.0);
-            sim::trial_outcome out;
-            out.success = r.correct;
-            out.parallel_time = r.parallel_time;
-            return out;
-        });
-        state.counters["success_rate"] = summary.success_rate();
-        state.counters["parallel_time"] = summary.time_stats.mean;
+        const auto result = scenario::run_scenario_trials(
+            baseline("baselines/usd"), params, bench_trials(10), 0xea200 + k, shared_executor());
+        report_scenario(state, result.summary);
     }
 }
 BENCHMARK(BM_Usd_LargeBias)->Arg(2)->Arg(5)->Iterations(1)->Unit(benchmark::kMillisecond);
@@ -77,22 +83,15 @@ BENCHMARK(BM_Usd_LargeBias)->Arg(2)->Arg(5)->Iterations(1)->Unit(benchmark::kMil
 // construction but the final cancellation takes Θ(n) expected parallel time.
 void BM_StableFourState_BiasOne(benchmark::State& state) {
     const auto n = static_cast<std::uint32_t>(state.range(0));
-    using namespace plurality::majority;
+    scenario::scenario_params params;
+    params.n = n;
+    params.bias = 2;  // n/2 + 1 vs n/2 - 1, as the even-n bias-1 analogue
     for (auto _ : state) {
-        const auto summary = bench::shared_executor().run(5, 0xea300 + n, [&](std::uint64_t seed) {
-            auto agents = make_four_state_population(n / 2 + 1, n / 2 - 1);
-            sim::simulation<stable_four_state_protocol> s{stable_four_state_protocol{},
-                                                          std::move(agents), seed};
-            const auto done = [](const auto& sim) { return consensus_reached(sim.agents()); };
-            (void)s.run_until(done, 100000ull * n);
-            sim::trial_outcome out;
-            out.success = consensus_sign(s.agents()) == 1;
-            out.parallel_time = s.parallel_time();
-            return out;
-        });
-        state.counters["success_rate"] = summary.success_rate();
-        state.counters["parallel_time"] = summary.time_stats.mean;
-        state.counters["pt_per_n"] = summary.time_stats.mean / n;
+        const auto result = scenario::run_scenario_trials(
+            baseline("majority/four-state"), params, bench_trials(5), 0xea300 + n,
+            shared_executor());
+        report_scenario(state, result.summary);
+        state.counters["pt_per_n"] = result.summary.time_stats.mean / n;
     }
 }
 BENCHMARK(BM_StableFourState_BiasOne)

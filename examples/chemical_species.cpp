@@ -11,7 +11,7 @@
 
 #include "core/plurality_protocol.h"
 #include "core/result.h"
-#include "sim/simulation.h"
+#include "sim/convergence.h"
 #include "workload/opinion_distribution.h"
 
 int main(int argc, char** argv) {
@@ -35,21 +35,25 @@ int main(int argc, char** argv) {
 
     std::printf("%10s %8s %8s %8s %8s %8s %10s\n", "time", "init", "collect", "clock", "track",
                 "play", "species#");
-    const auto budget = static_cast<std::uint64_t>(cfg.default_time_budget()) * dist.n();
+    // The shared convergence loop drives the run; the observer prints the
+    // lifecycle table on a geometric schedule (sampling every check point
+    // would drown the interesting transitions in early-phase rows).
     double next_report = 0.0;
-    while (!all_winners(s.agents()) && s.interactions() < budget) {
-        s.run_for(dist.n() / 2);
-        if (s.parallel_time() < next_report) continue;
-        next_report = s.parallel_time() * 1.6 + 100.0;
+    const auto report_roles = [&next_report](const auto& sim) {
+        if (sim.parallel_time() < next_report) return;
+        next_report = sim.parallel_time() * 1.6 + 100.0;
 
         std::size_t in_init = 0;
-        for (const auto& a : s.agents())
+        for (const auto& a : sim.agents())
             if (a.stage == lifecycle_stage::init) ++in_init;
-        const auto roles = role_counts(s.agents());
-        const auto species = surviving_opinions(s.agents());
-        std::printf("%10.0f %8zu %8zu %8zu %8zu %8zu %10zu\n", s.parallel_time(), in_init,
+        const auto roles = role_counts(sim.agents());
+        const auto species = surviving_opinions(sim.agents());
+        std::printf("%10.0f %8zu %8zu %8zu %8zu %8zu %10zu\n", sim.parallel_time(), in_init,
                     roles[0], roles[1], roles[2], roles[3], species.size());
-    }
+    };
+    (void)sim::converge(
+        s, [](const auto& sim) { return all_winners(sim.agents()); },
+        sim::interaction_budget(cfg.default_time_budget(), dist.n()), dist.n() / 2, report_roles);
 
     const std::uint32_t winner = consensus_opinion(s.agents());
     std::printf("\nconsensus: species %u after %.0f parallel time -> %s\n", winner,

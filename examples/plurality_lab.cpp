@@ -1,12 +1,18 @@
-// plurality_lab — a command-line driver over the full public API, for
-// exploring the protocols on arbitrary instances without writing code.
+// plurality_lab — a small interactive driver over the paper's three
+// tournament protocols, for exploring instances without writing code.
 //
 //   plurality_lab --mode ordered|unordered|improved
 //                 --n <agents> --k <opinions>
-//                 --workload bias1|zipf|dominant|two-heavy
+//                 --workload bias1|uniform|zipf|dominant|two-heavy
 //                 --trials <t> --seed <s>
 //                 [--bias <b>] [--dust <d>] [--fraction <pct>]
 //                 [--trace out.csv]
+//
+// Everything is a thin veneer over the scenario layer: the mode picks a
+// registered scenario, the workload flags fill a scenario_params block, and
+// --trace reuses the scenario's own metric extractors as time series.  For
+// the full parameter surface (thread fan-out, JSON documents, every
+// registered family) use plurality_run.
 //
 // Examples:
 //   plurality_lab --mode improved --n 4096 --workload dominant --dust 16
@@ -14,29 +20,20 @@
 //   plurality_lab --mode unordered --n 2048 --k 4 --trace run.csv
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <string>
 
-#include "core/plurality_protocol.h"
-#include "core/result.h"
-#include "sim/multi_trial.h"
-#include "sim/simulation.h"
-#include "trace/recorder.h"
-#include "workload/opinion_distribution.h"
+#include "scenario/registry.h"
+#include "scenario/runner.h"
+#include "sim/trial_executor.h"
 
 namespace {
 
 using namespace plurality;
 
 struct options {
-    core::algorithm_mode mode = core::algorithm_mode::ordered;
-    std::uint32_t n = 1024;
-    std::uint32_t k = 4;
-    std::string workload = "bias1";
-    std::uint32_t bias = 1;
-    std::uint32_t dust = 8;
-    double fraction = 0.5;
+    std::string mode = "ordered";
+    scenario::scenario_params params;
     std::size_t trials = 5;
     std::uint64_t seed = 42;
     std::string trace_path;
@@ -45,7 +42,7 @@ struct options {
 [[noreturn]] void usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s [--mode ordered|unordered|improved] [--n N] [--k K]\n"
-                 "          [--workload bias1|zipf|dominant|two-heavy] [--bias B]\n"
+                 "          [--workload bias1|uniform|zipf|dominant|two-heavy] [--bias B]\n"
                  "          [--dust D] [--fraction PCT] [--trials T] [--seed S]\n"
                  "          [--trace FILE.csv]\n",
                  argv0);
@@ -54,35 +51,23 @@ struct options {
 
 options parse(int argc, char** argv) {
     options opt;
+    opt.params.n = 1024;
+    opt.params.k = 4;
     for (int i = 1; i < argc; ++i) {
+        switch (scenario::parse_param_flag(opt.params, argc, argv, i)) {
+            case scenario::flag_parse::consumed: continue;
+            case scenario::flag_parse::missing_value: usage(argv[0]);
+            case scenario::flag_parse::not_mine: break;
+        }
         const std::string arg = argv[i];
         const auto value = [&]() -> const char* {
             if (i + 1 >= argc) usage(argv[0]);
             return argv[++i];
         };
         if (arg == "--mode") {
-            const std::string m = value();
-            if (m == "ordered") {
-                opt.mode = core::algorithm_mode::ordered;
-            } else if (m == "unordered") {
-                opt.mode = core::algorithm_mode::unordered;
-            } else if (m == "improved") {
-                opt.mode = core::algorithm_mode::improved;
-            } else {
+            opt.mode = value();
+            if (opt.mode != "ordered" && opt.mode != "unordered" && opt.mode != "improved")
                 usage(argv[0]);
-            }
-        } else if (arg == "--n") {
-            opt.n = std::strtoul(value(), nullptr, 10);
-        } else if (arg == "--k") {
-            opt.k = std::strtoul(value(), nullptr, 10);
-        } else if (arg == "--workload") {
-            opt.workload = value();
-        } else if (arg == "--bias") {
-            opt.bias = std::strtoul(value(), nullptr, 10);
-        } else if (arg == "--dust") {
-            opt.dust = std::strtoul(value(), nullptr, 10);
-        } else if (arg == "--fraction") {
-            opt.fraction = std::strtod(value(), nullptr) / 100.0;
         } else if (arg == "--trials") {
             opt.trials = std::strtoul(value(), nullptr, 10);
         } else if (arg == "--seed") {
@@ -96,82 +81,41 @@ options parse(int argc, char** argv) {
     return opt;
 }
 
-workload::opinion_distribution make_workload(const options& opt, sim::rng& gen) {
-    if (opt.workload == "bias1") return workload::make_bias_one(opt.n, opt.k, opt.bias);
-    if (opt.workload == "zipf") return workload::make_zipf(opt.n, opt.k, 1.4, gen);
-    if (opt.workload == "dominant")
-        return workload::make_dominant_plus_dust(opt.n, opt.fraction, opt.dust);
-    if (opt.workload == "two-heavy")
-        return workload::make_two_heavy_plus_dust(opt.n, opt.bias, opt.dust);
-    std::fprintf(stderr, "unknown workload '%s'\n", opt.workload.c_str());
-    std::exit(2);
-}
-
-/// One traced run, writing role/opinion time series to CSV.
-void traced_run(const options& opt, const core::protocol_config& cfg,
-                const workload::opinion_distribution& dist) {
-    using sim_t = sim::simulation<core::plurality_protocol>;
-    sim::rng setup(sim::derive_seed(opt.seed, 1));
-    core::plurality_protocol proto{cfg};
-    auto population = core::plurality_protocol::make_population(cfg, dist, setup);
-    sim_t s{std::move(proto), std::move(population), sim::derive_seed(opt.seed, 2)};
-
-    trace::recorder<sim_t> rec(5.0);
-    rec.add_series("collectors", [](const sim_t& sim) {
-        return static_cast<double>(core::role_counts(sim.agents())[0]);
-    });
-    rec.add_series("clocks", [](const sim_t& sim) {
-        return static_cast<double>(core::role_counts(sim.agents())[1]);
-    });
-    rec.add_series("trackers", [](const sim_t& sim) {
-        return static_cast<double>(core::role_counts(sim.agents())[2]);
-    });
-    rec.add_series("players", [](const sim_t& sim) {
-        return static_cast<double>(core::role_counts(sim.agents())[3]);
-    });
-    rec.add_series("surviving_opinions", [](const sim_t& sim) {
-        return static_cast<double>(core::surviving_opinions(sim.agents()).size());
-    });
-    rec.add_series("winners", [](const sim_t& sim) {
-        std::size_t w = 0;
-        for (const auto& a : sim.agents())
-            if (a.winner) ++w;
-        return static_cast<double>(w);
-    });
-
-    const auto budget = static_cast<std::uint64_t>(cfg.default_time_budget()) * opt.n;
-    while (!core::all_winners(s.agents()) && s.interactions() < budget) {
-        s.run_for(opt.n);
-        rec.maybe_sample(s);
-    }
-    std::ofstream out(opt.trace_path);
-    rec.write_csv(out);
-    std::printf("trace with %zu samples written to %s\n", rec.samples(), opt.trace_path.c_str());
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
     const options opt = parse(argc, argv);
-    sim::rng workload_gen(opt.seed);
-    const auto dist = make_workload(opt, workload_gen);
-    const auto cfg = core::protocol_config::make(opt.mode, dist.n(), dist.k());
 
-    std::printf("mode=%d n=%u k=%u workload=%s plurality=%u x_max=%u bias=%u\n",
-                static_cast<int>(opt.mode), dist.n(), dist.k(), opt.workload.c_str(),
-                dist.plurality_opinion(), dist.x_max(), dist.bias());
+    const auto* s = scenario::scenario_registry::instance().find("plurality/" + opt.mode);
+    if (s == nullptr) {
+        std::fprintf(stderr, "scenario plurality/%s is not registered\n", opt.mode.c_str());
+        return 2;
+    }
+    std::printf("scenario=%s n=%u k=%u workload=%s\n", s->name().c_str(), opt.params.n,
+                opt.params.k, opt.params.workload.c_str());
 
-    const auto summary = sim::run_trials(opt.trials, opt.seed, [&](std::uint64_t seed) {
-        const auto r = core::run_to_consensus(cfg, dist, seed);
-        sim::trial_outcome out;
-        out.success = r.correct;
-        out.parallel_time = r.parallel_time;
-        return out;
-    });
-    std::printf("correct %zu/%zu, parallel time mean %.0f (min %.0f, max %.0f)\n",
-                summary.successes, summary.trials, summary.time_stats.mean,
-                summary.time_stats.min, summary.time_stats.max);
+    try {
+        const sim::trial_executor executor{1};
+        const auto result =
+            scenario::run_scenario_trials(*s, opt.params, opt.trials, opt.seed, executor);
+        std::printf("correct %zu/%zu, parallel time mean %.0f (min %.0f, max %.0f)\n",
+                    result.summary.correct, result.summary.trials, result.summary.time_stats.mean,
+                    result.summary.time_stats.min, result.summary.time_stats.max);
 
-    if (!opt.trace_path.empty()) traced_run(opt, cfg, dist);
-    return summary.successes == summary.trials ? 0 : 1;
+        if (!opt.trace_path.empty()) {
+            // Re-run trial 0's exact stream with the scenario metrics
+            // sampled every 5 parallel-time units.
+            std::ofstream out(opt.trace_path);
+            if (!out) {
+                std::fprintf(stderr, "cannot open trace file '%s'\n", opt.trace_path.c_str());
+                return 1;
+            }
+            (void)s->run_traced(opt.params, sim::derive_seed(opt.seed, 0), 5.0, out);
+            std::printf("trace written to %s\n", opt.trace_path.c_str());
+        }
+        return result.summary.correct == result.summary.trials ? 0 : 1;
+    } catch (const std::exception& error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 1;
+    }
 }

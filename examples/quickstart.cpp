@@ -1,46 +1,51 @@
 // Quickstart: run SimpleAlgorithm on a bias-1 instance and print the result.
 //
 // Build and run:
-//   cmake -B build -G Ninja && cmake --build build
-//   ./build/examples/quickstart [n] [k] [seed]
+//   cmake -B build && cmake --build build
+//   ./build/example_quickstart [n] [k] [seed]
 //
 // n agents hold one of k opinions; opinion 1 leads opinion 2 by exactly one
 // agent.  The protocol must still identify opinion 1 — that is *exact*
 // plurality consensus (paper §2).
+//
+// Everything below goes through the scenario registry: the same entry point
+// the experiment CLI (plurality_run) uses.  Want a different protocol on the
+// same instance?  Swap the scenario name.
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/plurality_protocol.h"
-#include "core/result.h"
+#include "scenario/registry.h"
 #include "workload/opinion_distribution.h"
 
 int main(int argc, char** argv) {
     using namespace plurality;
 
-    const std::uint32_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 1024;
-    const std::uint32_t k = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 4;
+    scenario::scenario_params params;
+    params.n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 1024;
+    params.k = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 4;
     const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 42;
 
     // A worst-case initial configuration: the plurality leads by one agent.
-    const workload::opinion_distribution dist = workload::make_bias_one(n, k);
-    std::printf("population n = %u, opinions k = %u, bias = %u\n", n, k, dist.bias());
+    const workload::opinion_distribution dist = workload::make_bias_one(params.n, params.k);
+    std::printf("population n = %u, opinions k = %u, bias = %u\n", params.n, params.k,
+                dist.bias());
     std::printf("initial support:");
-    for (std::uint32_t i = 1; i <= k; ++i) std::printf("  opinion %u: %u", i, dist.support_of(i));
+    for (std::uint32_t i = 1; i <= params.k; ++i)
+        std::printf("  opinion %u: %u", i, dist.support_of(i));
     std::printf("\n\n");
 
     // SimpleAlgorithm (Theorem 1 (1)): k-1 tournaments over the ordered
     // opinions, O(k log n) parallel time, O(k + log n) states.
-    const auto cfg =
-        core::protocol_config::make(core::algorithm_mode::ordered, n, k);
-    const core::consensus_result result = core::run_to_consensus(cfg, dist, seed);
+    const auto* s = scenario::scenario_registry::instance().find("plurality/ordered");
+    const scenario::scenario_outcome result = s->run(params, seed);
 
     if (!result.converged) {
         std::printf("did not converge within the time budget (a w.h.p. failure)\n");
         return 1;
     }
-    std::printf("consensus on opinion %u after %.0f parallel time (%llu interactions)\n",
-                result.winner_opinion, result.parallel_time,
+    std::printf("consensus after %.0f parallel time (%llu interactions)\n", result.parallel_time,
                 static_cast<unsigned long long>(result.interactions));
+    for (const auto& m : result.metrics) std::printf("  %s = %g\n", m.name.c_str(), m.value);
     std::printf("plurality opinion was %u -> %s\n", dist.plurality_opinion(),
                 result.correct ? "CORRECT" : "WRONG");
     return result.correct ? 0 : 1;

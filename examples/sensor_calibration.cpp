@@ -10,50 +10,43 @@
 //    margin 1,
 //  * the paper's exact protocol gets it right w.h.p. even at margin 1.
 //
-// The example runs both on the same instance and prints the comparison.
+// Both protocols run through the scenario registry on the identical
+// parameter block — the comparison is three lines per protocol.
 #include <cstdio>
 #include <cstdlib>
 
-#include "baselines/usd_plurality.h"
-#include "core/plurality_protocol.h"
-#include "core/result.h"
-#include "workload/opinion_distribution.h"
+#include "scenario/registry.h"
+#include "scenario/runner.h"
+#include "sim/trial_executor.h"
 
 int main(int argc, char** argv) {
     using namespace plurality;
 
     const std::uint32_t sensors = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 2048;
-    const std::uint32_t references = 5;
-    const std::uint64_t trials = 8;
 
     // Readings split almost evenly across the references; reference 1 truly
     // leads, but only by a single sensor.
-    const auto dist = workload::make_bias_one(sensors + 1, references);
-    std::printf("=== sensor calibration vote: %u sensors, %u references, margin %u ===\n",
-                dist.n(), references, dist.bias());
+    scenario::scenario_params params;
+    params.n = sensors + 1;  // odd population: margin 1 is feasible
+    params.k = 5;
+    params.workload = "bias1";
+    const std::size_t trials = 8;
 
-    const auto cfg = core::protocol_config::make(core::algorithm_mode::ordered, dist.n(),
-                                                 references);
+    std::printf("=== sensor calibration vote: %u sensors, %u references, margin 1 ===\n",
+                params.n, params.k);
 
-    std::size_t exact_correct = 0;
-    std::size_t usd_correct = 0;
-    double exact_time = 0.0;
-    double usd_time = 0.0;
-    for (std::uint64_t seed = 0; seed < trials; ++seed) {
-        const auto exact = core::run_to_consensus(cfg, dist, seed);
-        if (exact.correct) ++exact_correct;
-        exact_time += exact.parallel_time;
-
-        const auto usd = baselines::run_usd(dist, seed, 4000.0);
-        if (usd.correct) ++usd_correct;
-        usd_time += usd.parallel_time;
+    const sim::trial_executor executor{1};
+    const auto& registry = scenario::scenario_registry::instance();
+    std::printf("\n%-34s %-12s %s\n", "protocol", "correct", "avg parallel time");
+    for (const auto& [label, name] :
+         {std::pair{"exact tournaments (this paper)", "plurality/ordered"},
+          std::pair{"undecided-state dynamics (approx)", "baselines/usd"}}) {
+        const auto result =
+            scenario::run_scenario_trials(*registry.find(name), params, trials, 0, executor);
+        std::printf("%-34s %zu/%zu        %8.0f\n", label, result.summary.correct,
+                    result.summary.trials, result.summary.time_stats.mean);
     }
 
-    std::printf("\n%-34s %-12s %s\n", "protocol", "correct", "avg parallel time");
-    std::printf("%-34s %zu/%llu        %8.0f\n", "exact tournaments (this paper)", exact_correct,
-                static_cast<unsigned long long>(trials), exact_time / static_cast<double>(trials));
-    std::printf("%-34s %zu/%llu        %8.0f\n", "undecided-state dynamics (approx)", usd_correct,
-                static_cast<unsigned long long>(trials), usd_time / static_cast<double>(trials));
     std::printf("\nAt margin 1 the approximate dynamics is a coin flip; the exact protocol\n"
                 "pays a polylog factor in time to get the answer right w.h.p.\n");
     return 0;

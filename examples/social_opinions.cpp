@@ -5,22 +5,30 @@
 // plain tournament protocols is Θ(k·log n), paying for every niche opinion,
 // while the junta-clock pruning eliminates the tail up front and runs
 // O(n/x_max) tournaments among the few significant opinions only.
+//
+// Both protocols run through the scenario registry on the same Zipf
+// parameter block; each trial draws its own instance of the regime.
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/plurality_protocol.h"
-#include "core/result.h"
+#include "scenario/registry.h"
+#include "scenario/runner.h"
 #include "sim/rng.h"
+#include "sim/trial_executor.h"
 #include "workload/opinion_distribution.h"
 
 int main(int argc, char** argv) {
     using namespace plurality;
 
-    const std::uint32_t people = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 4096;
-    const std::uint32_t opinions = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 16;
+    scenario::scenario_params params;
+    params.n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 4096;
+    params.k = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 16;
+    params.workload = "zipf";
+    params.zipf_s = 1.6;
 
+    // One representative instance, for display only (trials draw their own).
     sim::rng gen(2024);
-    const auto dist = workload::make_zipf(people, opinions, 1.6, gen);
+    const auto dist = workload::make_zipf(params.n, params.k, params.zipf_s, gen);
     std::printf("=== social opinion landscape: %u people, %u opinions (Zipf 1.6) ===\n",
                 dist.n(), dist.k());
     std::printf("support:");
@@ -29,21 +37,16 @@ int main(int argc, char** argv) {
                 dist.plurality_opinion(), dist.x_max(),
                 static_cast<double>(dist.n()) / dist.x_max());
 
-    for (const auto [name, mode] :
-         {std::pair{"unordered tournaments (Thm 1.2)", core::algorithm_mode::unordered},
-          std::pair{"pruned tournaments   (Thm 2)  ", core::algorithm_mode::improved}}) {
-        const auto cfg = core::protocol_config::make(mode, dist.n(), dist.k());
-        double total_time = 0.0;
-        std::size_t correct = 0;
-        const std::uint64_t trials = 3;
-        for (std::uint64_t seed = 0; seed < trials; ++seed) {
-            const auto r = core::run_to_consensus(cfg, dist, seed);
-            total_time += r.parallel_time;
-            if (r.correct) ++correct;
-        }
-        std::printf("%s : correct %zu/%llu, avg parallel time %8.0f\n", name, correct,
-                    static_cast<unsigned long long>(trials),
-                    total_time / static_cast<double>(trials));
+    const sim::trial_executor executor{1};
+    const auto& registry = scenario::scenario_registry::instance();
+    for (const auto& [label, name] :
+         {std::pair{"unordered tournaments (Thm 1.2)", "plurality/unordered"},
+          std::pair{"pruned tournaments   (Thm 2)  ", "plurality/improved"}}) {
+        const auto result =
+            scenario::run_scenario_trials(*registry.find(name), params, 3, 0, executor);
+        std::printf("%s : correct %zu/%zu, avg parallel time %8.0f\n", label,
+                    result.summary.correct, result.summary.trials,
+                    result.summary.time_stats.mean);
     }
 
     std::printf("\nPruning makes the runtime depend on n/x_max (the plurality's weight)\n"

@@ -1,6 +1,6 @@
 #include "baselines/usd_plurality.h"
 
-#include "sim/simulation.h"
+#include "sim/convergence.h"
 
 namespace plurality::baselines {
 
@@ -32,15 +32,15 @@ usd_result run_usd(const workload::opinion_distribution& dist, std::uint64_t see
     sim::simulation<usd_plurality_protocol> simulation{
         usd_plurality_protocol{}, std::move(population), sim::derive_seed(seed, 0x05d1ull)};
 
-    const auto budget = static_cast<std::uint64_t>(time_budget * static_cast<double>(dist.n()));
     const auto done = [](const auto& s) { return consensus_reached(s.agents()); };
-    const auto finished = simulation.run_until(done, budget);
+    const auto run =
+        sim::converge(simulation, done, sim::interaction_budget(time_budget, dist.n()));
 
     usd_result result;
-    result.converged = finished.has_value();
+    result.converged = run.converged;
     result.winner_opinion = consensus_opinion(simulation.agents());
     result.correct = result.converged && result.winner_opinion == dist.plurality_opinion();
-    result.parallel_time = simulation.parallel_time();
+    result.parallel_time = run.parallel_time;
     return result;
 }
 

@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "core/plurality_protocol.h"
-#include "sim/simulation.h"
+#include "sim/convergence.h"
 
 namespace plurality::core {
 
@@ -17,16 +17,14 @@ consensus_result run_to_consensus(const protocol_config& cfg,
                                                    sim::derive_seed(seed, 0x10ull)};
 
     if (time_budget <= 0.0) time_budget = cfg.default_time_budget();
-    const auto budget =
-        static_cast<std::uint64_t>(time_budget * static_cast<double>(cfg.n));
-
     const auto done = [](const auto& s) { return all_winners(s.agents()); };
-    const auto finished = simulation.run_until(done, budget, 4ull * cfg.n);
+    const auto run = sim::converge(simulation, done, sim::interaction_budget(time_budget, cfg.n),
+                                   4ull * cfg.n);
 
     consensus_result result;
-    result.parallel_time = simulation.parallel_time();
-    result.interactions = simulation.interactions();
-    result.converged = finished.has_value();
+    result.parallel_time = run.parallel_time;
+    result.interactions = run.interactions;
+    result.converged = run.converged;
     result.winner_opinion = consensus_opinion(simulation.agents());
     result.correct = result.converged && result.winner_opinion == dist.plurality_opinion();
     return result;

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "sim/convergence.h"
+
 namespace plurality::epidemic {
 
 std::size_t informed_count(std::span<const epidemic_agent> agents) noexcept {
@@ -25,9 +27,10 @@ double measure_broadcast_time(std::uint32_t n, std::uint32_t sources, std::uint6
     // Broadcast finishes in Θ(n log n) interactions w.h.p.; 64 n log2 n is a
     // generous safety budget, and hitting it signals a bug.
     const std::uint64_t budget = 64ull * n * (64 - __builtin_clzll(n));
-    const auto finished = simulation.run_until(all_informed, budget, n / 4 + 1);
-    if (!finished) throw std::runtime_error("measure_broadcast_time: epidemic did not complete");
-    return simulation.parallel_time();
+    const auto run = sim::converge(simulation, all_informed, budget, n / 4 + 1);
+    if (!run.converged)
+        throw std::runtime_error("measure_broadcast_time: epidemic did not complete");
+    return run.parallel_time;
 }
 
 }  // namespace plurality::epidemic

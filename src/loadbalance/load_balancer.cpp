@@ -4,7 +4,7 @@
 #include <stdexcept>
 #include <vector>
 
-#include "sim/simulation.h"
+#include "sim/convergence.h"
 
 namespace plurality::loadbalance {
 
@@ -39,9 +39,9 @@ double measure_balancing_time(std::span<const std::int64_t> initial_loads,
     const auto balanced = [target_discrepancy](const auto& s) {
         return discrepancy(s.agents()) <= target_discrepancy;
     };
-    const auto max_interactions = static_cast<std::uint64_t>(budget * static_cast<double>(n));
-    const auto finished = simulation.run_until(balanced, max_interactions, n / 4 + 1);
-    return finished ? simulation.parallel_time() : -1.0;
+    const auto run =
+        sim::converge(simulation, balanced, sim::interaction_budget(budget, n), n / 4 + 1);
+    return run.converged ? run.parallel_time : -1.0;
 }
 
 }  // namespace plurality::loadbalance

@@ -1,0 +1,20 @@
+// Builtin scenario registrations, one function per protocol directory.
+// Called (once) by scenario_registry::instance(); also callable on a private
+// registry in tests.
+#pragma once
+
+namespace plurality::scenario {
+
+class scenario_registry;
+
+void register_plurality_scenarios(scenario_registry& registry);   // src/core
+void register_baseline_scenarios(scenario_registry& registry);    // src/baselines
+void register_majority_scenarios(scenario_registry& registry);    // src/majority
+void register_epidemic_scenarios(scenario_registry& registry);    // src/epidemic
+void register_leader_scenarios(scenario_registry& registry);      // src/leader
+void register_loadbalance_scenarios(scenario_registry& registry); // src/loadbalance
+
+/// All of the above.
+void register_builtin_scenarios(scenario_registry& registry);
+
+}  // namespace plurality::scenario

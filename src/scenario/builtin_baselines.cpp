@@ -1,0 +1,45 @@
+// Scenario registration for the approximate undecided-state-dynamics
+// plurality baseline (src/baselines).
+#include "baselines/usd_plurality.h"
+#include "scenario/builtin.h"
+#include "scenario/registry.h"
+#include "sim/simulation.h"
+
+namespace plurality::scenario {
+
+namespace {
+
+struct usd_spec {
+    workload::opinion_distribution dist{};
+
+    using protocol_t = baselines::usd_plurality_protocol;
+
+    protocol_t make_protocol(const scenario_params&, sim::rng&) { return {}; }
+    std::vector<baselines::usd_agent> make_population(const scenario_params& p, sim::rng& gen) {
+        dist = make_workload(p, gen);
+        return baselines::make_usd_population(dist, gen);
+    }
+    bool converged(const sim::simulation<protocol_t>& s) const {
+        return baselines::consensus_reached(s.agents());
+    }
+    bool correct(const sim::simulation<protocol_t>& s) const {
+        return baselines::consensus_opinion(s.agents()) == dist.plurality_opinion();
+    }
+    double time_budget(const scenario_params&) const { return 8000.0; }
+    std::vector<metric> metrics(const sim::simulation<protocol_t>& s) const {
+        const double undecided = sim::fraction_of(
+            s.agents(), [](const baselines::usd_agent& a) { return a.opinion == 0; });
+        return {{"winner_opinion", static_cast<double>(baselines::consensus_opinion(s.agents()))},
+                {"undecided_fraction", undecided}};
+    }
+};
+
+}  // namespace
+
+void register_baseline_scenarios(scenario_registry& registry) {
+    registry.add({"baselines/usd", "baselines",
+                  "Undecided-state dynamics: approximate plurality, coin-flips at bias 1",
+                  usd_spec{}});
+}
+
+}  // namespace plurality::scenario

@@ -1,0 +1,48 @@
+// Scenario registration for the one-way epidemic broadcast (src/epidemic).
+#include <algorithm>
+
+#include "epidemic/epidemic.h"
+#include "scenario/builtin.h"
+#include "scenario/registry.h"
+#include "util/math.h"
+
+namespace plurality::scenario {
+
+namespace {
+
+struct epidemic_spec {
+    using protocol_t = epidemic::epidemic_protocol;
+
+    protocol_t make_protocol(const scenario_params&, sim::rng&) { return {}; }
+    std::vector<epidemic::epidemic_agent> make_population(const scenario_params& p, sim::rng&) {
+        std::vector<epidemic::epidemic_agent> agents(p.n);
+        const std::uint32_t sources = std::clamp<std::uint32_t>(p.sources, 1, p.n);
+        for (std::uint32_t i = 0; i < sources; ++i) agents[i] = {true, 1};
+        return agents;
+    }
+    bool converged(const sim::simulation<protocol_t>& s) const {
+        return epidemic::informed_count(s.agents()) == s.population_size();
+    }
+    bool correct(const sim::simulation<protocol_t>& s) const {
+        // The payload must spread with the bit: every agent carries value 1.
+        return std::all_of(s.agents().begin(), s.agents().end(),
+                           [](const epidemic::epidemic_agent& a) { return a.payload == 1; });
+    }
+    double time_budget(const scenario_params& p) const {
+        return 64.0 * static_cast<double>(util::ceil_log2(p.n < 2 ? 2 : p.n) + 1);
+    }
+    std::vector<metric> metrics(const sim::simulation<protocol_t>& s) const {
+        return {{"informed_fraction", static_cast<double>(epidemic::informed_count(s.agents())) /
+                                          static_cast<double>(s.population_size())}};
+    }
+};
+
+}  // namespace
+
+void register_epidemic_scenarios(scenario_registry& registry) {
+    registry.add({"epidemic/broadcast", "epidemic",
+                  "One-way epidemic: rumor reaches all n agents in Theta(log n)",
+                  epidemic_spec{}});
+}
+
+}  // namespace plurality::scenario

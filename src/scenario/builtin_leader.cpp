@@ -1,0 +1,50 @@
+// Scenario registration for coin-flip leader election (src/leader), the
+// Appendix B substrate with the [23] contract: unique leader w.h.p. in
+// O(log^2 n) parallel time.
+#include <cmath>
+
+#include "leader/leader_election.h"
+#include "scenario/builtin.h"
+#include "scenario/registry.h"
+
+namespace plurality::scenario {
+
+namespace {
+
+struct leader_spec {
+    std::uint16_t rounds = 0;
+
+    using protocol_t = leader::leader_election_protocol;
+
+    protocol_t make_protocol(const scenario_params& p, sim::rng&) {
+        rounds = leader::default_rounds(p.n);
+        return protocol_t{leader::default_psi(p.n), rounds};
+    }
+    std::vector<leader::leader_agent> make_population(const scenario_params& p, sim::rng&) {
+        return std::vector<leader::leader_agent>(p.n);
+    }
+    bool converged(const sim::simulation<protocol_t>& s) const {
+        return leader::election_finished(s.agents(), rounds);
+    }
+    bool correct(const sim::simulation<protocol_t>& s) const {
+        return leader::leader_count(s.agents()) == 1;
+    }
+    double time_budget(const scenario_params& p) const {
+        const double log_n = std::log2(static_cast<double>(p.n < 2 ? 2 : p.n));
+        return 200.0 * log_n * log_n;
+    }
+    std::vector<metric> metrics(const sim::simulation<protocol_t>& s) const {
+        return {{"leaders", static_cast<double>(leader::leader_count(s.agents()))},
+                {"candidates", static_cast<double>(leader::candidate_count(s.agents()))}};
+    }
+};
+
+}  // namespace
+
+void register_leader_scenarios(scenario_registry& registry) {
+    registry.add({"leader/election", "leader",
+                  "Coin-flip leader election: unique leader w.h.p. in O(log^2 n)",
+                  leader_spec{}});
+}
+
+}  // namespace plurality::scenario

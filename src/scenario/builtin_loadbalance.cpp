@@ -1,0 +1,44 @@
+// Scenario registration for floor/ceil averaging load balancing
+// (src/loadbalance): one hot spot holding n load units spreads to
+// discrepancy <= 2 within O(log n) parallel time w.h.p.
+#include "loadbalance/load_balancer.h"
+#include "scenario/builtin.h"
+#include "scenario/registry.h"
+
+namespace plurality::scenario {
+
+namespace {
+
+struct loadbalance_spec {
+    using protocol_t = loadbalance::load_balance_protocol;
+
+    protocol_t make_protocol(const scenario_params&, sim::rng&) { return {}; }
+    std::vector<loadbalance::load_agent> make_population(const scenario_params& p, sim::rng&) {
+        std::vector<loadbalance::load_agent> agents(p.n);
+        agents.front().load = static_cast<std::int64_t>(p.n);  // the hot spot
+        return agents;
+    }
+    bool converged(const sim::simulation<protocol_t>& s) const {
+        return loadbalance::discrepancy(s.agents()) <= 2;
+    }
+    bool correct(const sim::simulation<protocol_t>& s) const {
+        // The total load is invariant; anything else is an engine bug.
+        return loadbalance::total_load(s.agents()) ==
+               static_cast<std::int64_t>(s.population_size());
+    }
+    double time_budget(const scenario_params&) const { return 400.0; }
+    std::vector<metric> metrics(const sim::simulation<protocol_t>& s) const {
+        return {{"discrepancy", static_cast<double>(loadbalance::discrepancy(s.agents()))},
+                {"total_load", static_cast<double>(loadbalance::total_load(s.agents()))}};
+    }
+};
+
+}  // namespace
+
+void register_loadbalance_scenarios(scenario_registry& registry) {
+    registry.add({"loadbalance/averaging", "loadbalance",
+                  "Floor/ceil averaging from one hot spot to discrepancy <= 2",
+                  loadbalance_spec{}});
+}
+
+}  // namespace plurality::scenario

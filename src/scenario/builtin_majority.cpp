@@ -1,0 +1,151 @@
+// Scenario registrations for the four binary-majority protocols
+// (src/majority).  All share the same initial-configuration convention:
+// `bias` decides the support gap, minus = (n - bias) / 2 agents start on the
+// minority side, plus = minus + bias on the majority side, and any parity
+// leftover becomes an undecided/blank agent (added to the majority side for
+// the 4-state protocol, which has no blank state).
+#include <algorithm>
+
+#include "majority/averaging_majority.h"
+#include "majority/cancel_double.h"
+#include "majority/stable_four_state.h"
+#include "majority/three_state.h"
+#include "scenario/builtin.h"
+#include "scenario/registry.h"
+#include "sim/simulation.h"
+
+namespace plurality::scenario {
+
+namespace {
+
+struct majority_split {
+    std::uint32_t plus = 0;
+    std::uint32_t minus = 0;
+    std::uint32_t blank = 0;
+};
+
+majority_split split_population(const scenario_params& p) {
+    majority_split s;
+    s.minus = (p.n - std::min(p.bias, p.n)) / 2;
+    s.plus = s.minus + std::min(p.bias, p.n);
+    s.blank = p.n - s.plus - s.minus;
+    return s;
+}
+
+struct three_state_spec {
+    using protocol_t = majority::three_state_protocol;
+
+    protocol_t make_protocol(const scenario_params&, sim::rng&) { return {}; }
+    std::vector<majority::three_state_agent> make_population(const scenario_params& p,
+                                                             sim::rng&) {
+        const auto s = split_population(p);
+        return majority::make_three_state_population(s.plus, s.minus, s.blank);
+    }
+    bool converged(const sim::simulation<protocol_t>& s) const {
+        return majority::consensus_reached(s.agents());
+    }
+    bool correct(const sim::simulation<protocol_t>& s) const {
+        return majority::consensus_value(s.agents()) == majority::binary_opinion::alpha;
+    }
+    double time_budget(const scenario_params&) const { return 600.0; }
+    std::vector<metric> metrics(const sim::simulation<protocol_t>& s) const {
+        const double undecided =
+            sim::fraction_of(s.agents(), [](const majority::three_state_agent& a) {
+                return a.opinion == majority::binary_opinion::undecided;
+            });
+        return {{"consensus_value", static_cast<double>(majority::consensus_value(s.agents()))},
+                {"undecided_fraction", undecided}};
+    }
+};
+
+struct four_state_spec {
+    using protocol_t = majority::stable_four_state_protocol;
+
+    protocol_t make_protocol(const scenario_params&, sim::rng&) { return {}; }
+    std::vector<majority::four_state_agent> make_population(const scenario_params& p, sim::rng&) {
+        const auto s = split_population(p);
+        return majority::make_four_state_population(s.plus + s.blank, s.minus);
+    }
+    bool converged(const sim::simulation<protocol_t>& s) const {
+        return majority::consensus_reached(s.agents());
+    }
+    bool correct(const sim::simulation<protocol_t>& s) const {
+        return majority::consensus_sign(s.agents()) == 1;
+    }
+    double time_budget(const scenario_params& p) const {
+        // Always correct but slow: the last cancellation costs Θ(n) expected
+        // parallel time at bias 1, so the default budget scales with n.
+        return 1.0e5 + 100.0 * static_cast<double>(p.n);
+    }
+    std::vector<metric> metrics(const sim::simulation<protocol_t>& s) const {
+        return {{"consensus_sign", static_cast<double>(majority::consensus_sign(s.agents()))},
+                {"strong_token_difference",
+                 static_cast<double>(majority::strong_token_difference(s.agents()))}};
+    }
+};
+
+struct averaging_spec {
+    using protocol_t = majority::averaging_majority_protocol;
+
+    protocol_t make_protocol(const scenario_params&, sim::rng&) { return {}; }
+    std::vector<majority::averaging_agent> make_population(const scenario_params& p, sim::rng&) {
+        const auto s = split_population(p);
+        return majority::make_averaging_population(s.plus, s.minus, s.blank,
+                                                   majority::default_amplification(p.n));
+    }
+    bool converged(const sim::simulation<protocol_t>& s) const {
+        return majority::population_verdict(s.agents()) != majority::majority_verdict::undecided;
+    }
+    bool correct(const sim::simulation<protocol_t>& s) const {
+        return majority::population_verdict(s.agents()) == majority::majority_verdict::plus;
+    }
+    double time_budget(const scenario_params&) const { return 600.0; }
+    std::vector<metric> metrics(const sim::simulation<protocol_t>& s) const {
+        return {{"verdict", static_cast<double>(majority::population_verdict(s.agents()))}};
+    }
+};
+
+struct cancel_double_spec {
+    using protocol_t = majority::cancel_double_protocol;
+
+    protocol_t make_protocol(const scenario_params& p, sim::rng&) {
+        return majority::cancel_double_protocol{majority::default_level_cap(p.n)};
+    }
+    std::vector<majority::cancel_double_agent> make_population(const scenario_params& p,
+                                                               sim::rng&) {
+        const auto s = split_population(p);
+        return majority::make_cancel_double_population(s.plus, s.minus, s.blank);
+    }
+    bool converged(const sim::simulation<protocol_t>& s) const {
+        return majority::decided_sign(s.agents()) != 0;
+    }
+    bool correct(const sim::simulation<protocol_t>& s) const {
+        return majority::decided_sign(s.agents()) == 1;
+    }
+    double time_budget(const scenario_params&) const { return 3000.0; }
+    std::vector<metric> metrics(const sim::simulation<protocol_t>& s) const {
+        const double signed_fraction = sim::fraction_of(
+            s.agents(), [](const majority::cancel_double_agent& a) { return a.sign != 0; });
+        return {{"decided_sign", static_cast<double>(majority::decided_sign(s.agents()))},
+                {"signed_fraction", signed_fraction}};
+    }
+};
+
+}  // namespace
+
+void register_majority_scenarios(scenario_registry& registry) {
+    registry.add({"majority/three-state", "majority",
+                  "3-state approximate majority [4]: fast, wrong at small bias",
+                  three_state_spec{}});
+    registry.add({"majority/four-state", "majority",
+                  "Stable 4-state exact majority: always correct, Theta(n) at bias 1",
+                  four_state_spec{}});
+    registry.add({"majority/averaging", "majority",
+                  "Averaging exact majority (FOCS'21 substitute): w.h.p. in O(log n)",
+                  averaging_spec{}});
+    registry.add({"majority/cancel-double", "majority",
+                  "Cancellation/doubling exact majority: O(log n) states, polylog time",
+                  cancel_double_spec{}});
+}
+
+}  // namespace plurality::scenario

@@ -1,0 +1,61 @@
+// Scenario registrations for the paper's three tournament protocols
+// (src/core): ordered, unordered, and improved (junta-clock pruning).
+#include "core/plurality_protocol.h"
+#include "core/result.h"
+#include "scenario/builtin.h"
+#include "scenario/registry.h"
+
+namespace plurality::scenario {
+
+namespace {
+
+struct plurality_spec {
+    core::algorithm_mode mode;
+    core::protocol_config cfg{};
+    workload::opinion_distribution dist{};
+
+    using protocol_t = core::plurality_protocol;
+
+    core::plurality_protocol make_protocol(const scenario_params& p, sim::rng& gen) {
+        // The workload decides the effective n and k (e.g. "dominant" derives
+        // k from the dust count), so the instance is drawn here, before the
+        // protocol parameters are fixed.
+        dist = make_workload(p, gen);
+        cfg = core::protocol_config::make(mode, dist.n(), dist.k());
+        return core::plurality_protocol{cfg};
+    }
+    std::vector<core::core_agent> make_population(const scenario_params&, sim::rng& gen) {
+        return core::plurality_protocol::make_population(cfg, dist, gen);
+    }
+    bool converged(const sim::simulation<protocol_t>& s) const {
+        return core::all_winners(s.agents());
+    }
+    bool correct(const sim::simulation<protocol_t>& s) const {
+        return core::consensus_opinion(s.agents()) == dist.plurality_opinion();
+    }
+    double time_budget(const scenario_params&) const { return cfg.default_time_budget(); }
+    std::vector<metric> metrics(const sim::simulation<protocol_t>& s) const {
+        const auto roles = core::role_counts(s.agents());
+        return {{"winner_opinion", static_cast<double>(core::consensus_opinion(s.agents()))},
+                {"surviving_opinions",
+                 static_cast<double>(core::surviving_opinions(s.agents()).size())},
+                {"collectors", static_cast<double>(roles[0])},
+                {"clocks", static_cast<double>(roles[1])}};
+    }
+};
+
+}  // namespace
+
+void register_plurality_scenarios(scenario_registry& registry) {
+    registry.add({"plurality/ordered", "plurality",
+                  "SimpleAlgorithm (Thm 1.1): ordered k-1 tournaments, exact w.h.p.",
+                  plurality_spec{core::algorithm_mode::ordered}});
+    registry.add({"plurality/unordered", "plurality",
+                  "Unordered tournaments (Thm 1.2): leader-elected challengers",
+                  plurality_spec{core::algorithm_mode::unordered}});
+    registry.add({"plurality/improved", "plurality",
+                  "ImprovedAlgorithm (Thm 2): junta-clock pruning, then tournaments",
+                  plurality_spec{core::algorithm_mode::improved}});
+}
+
+}  // namespace plurality::scenario

@@ -1,0 +1,42 @@
+// The machine-readable result document the experiment CLI emits
+// (schema "plurality_run/1"):
+//
+// {
+//   "schema": "plurality_run/1",
+//   "scenario": "plurality/ordered",
+//   "family": "plurality",
+//   "params": { "n": ..., "k": ..., "workload": "...", ... },
+//   "base_seed": 42,
+//   "trials": [
+//     { "trial": 0, "seed": ..., "converged": true, "correct": true,
+//       "parallel_time": ..., "interactions": ..., "metrics": { ... } },
+//     ...
+//   ],
+//   "summary": {
+//     "trials": ..., "converged": ..., "correct": ..., "success_rate": ...,
+//     "parallel_time": { "mean": ..., "stddev": ..., "min": ..., "max": ...,
+//                        "median": ... },
+//     "total_interactions": ..., "mean_metrics": { ... }
+//   }
+// }
+//
+// Deliberately excluded: thread count, wall-clock time, hostnames — the
+// document is a function of (scenario, params, trials, base_seed) only, so
+// equal seeds produce byte-identical files at any --threads.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "scenario/runner.h"
+#include "scenario/scenario.h"
+
+namespace plurality::scenario {
+
+inline constexpr const char* json_report_schema = "plurality_run/1";
+
+/// Writes the full result document for one CLI invocation.
+void write_json_report(std::ostream& os, const any_scenario& s, const scenario_params& params,
+                       std::uint64_t base_seed, const scenario_run_result& result);
+
+}  // namespace plurality::scenario

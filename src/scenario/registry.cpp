@@ -1,0 +1,45 @@
+#include "scenario/registry.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "scenario/builtin.h"
+
+namespace plurality::scenario {
+
+const scenario_registry& scenario_registry::instance() {
+    static const scenario_registry registry = [] {
+        scenario_registry r;
+        register_builtin_scenarios(r);
+        return r;
+    }();
+    return registry;
+}
+
+void scenario_registry::add(any_scenario s) {
+    const auto at = std::lower_bound(
+        scenarios_.begin(), scenarios_.end(), s.name(),
+        [](const any_scenario& lhs, const std::string& name) { return lhs.name() < name; });
+    if (at != scenarios_.end() && at->name() == s.name())
+        throw std::invalid_argument("duplicate scenario name: " + s.name());
+    scenarios_.insert(at, std::move(s));
+}
+
+const any_scenario* scenario_registry::find(std::string_view name) const noexcept {
+    const auto at = std::lower_bound(
+        scenarios_.begin(), scenarios_.end(), name,
+        [](const any_scenario& lhs, std::string_view sought) { return lhs.name() < sought; });
+    if (at != scenarios_.end() && at->name() == name) return &*at;
+    return nullptr;
+}
+
+void register_builtin_scenarios(scenario_registry& registry) {
+    register_plurality_scenarios(registry);
+    register_baseline_scenarios(registry);
+    register_majority_scenarios(registry);
+    register_epidemic_scenarios(registry);
+    register_leader_scenarios(registry);
+    register_loadbalance_scenarios(registry);
+}
+
+}  // namespace plurality::scenario

@@ -1,0 +1,39 @@
+// The global scenario registry: every protocol family in the repository,
+// runnable by name from the experiment CLI, tests, and benchmarks.
+//
+// `scenario_registry::instance()` is pre-populated with the builtin
+// scenarios (scenario/builtin.h) on first use — registration is an explicit
+// function call, not a static initializer, so scenarios are never silently
+// dropped by static-library linking.
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "scenario/scenario.h"
+
+namespace plurality::scenario {
+
+class scenario_registry {
+public:
+    /// The process-wide registry, builtins included.
+    [[nodiscard]] static const scenario_registry& instance();
+
+    /// Registers a scenario.  Throws std::invalid_argument on a duplicate
+    /// name.
+    void add(any_scenario s);
+
+    /// Looks a scenario up by its exact name (nullptr if absent).
+    [[nodiscard]] const any_scenario* find(std::string_view name) const noexcept;
+
+    /// All scenarios, sorted by name.
+    [[nodiscard]] std::span<const any_scenario> all() const noexcept { return scenarios_; }
+
+    [[nodiscard]] std::size_t size() const noexcept { return scenarios_.size(); }
+
+private:
+    std::vector<any_scenario> scenarios_;  ///< kept sorted by name
+};
+
+}  // namespace plurality::scenario

@@ -1,0 +1,44 @@
+#include "scenario/runner.h"
+
+namespace plurality::scenario {
+
+scenario_run_summary summarize_outcomes(const std::vector<scenario_outcome>& outcomes) {
+    scenario_run_summary summary;
+    summary.trials = outcomes.size();
+
+    analysis::accumulator times;
+    std::vector<double> metric_sums;
+    for (const auto& out : outcomes) {
+        if (out.converged) {
+            ++summary.converged;
+            times.add(out.parallel_time);
+        }
+        if (out.correct) ++summary.correct;
+        summary.total_interactions += out.interactions;
+        if (metric_sums.empty()) metric_sums.resize(out.metrics.size(), 0.0);
+        for (std::size_t m = 0; m < out.metrics.size() && m < metric_sums.size(); ++m) {
+            metric_sums[m] += out.metrics[m].value;
+        }
+    }
+    summary.time_stats = times.summary();
+    if (!outcomes.empty()) {
+        const auto& layout = outcomes.front().metrics;
+        for (std::size_t m = 0; m < metric_sums.size() && m < layout.size(); ++m) {
+            summary.mean_metrics.push_back(
+                {layout[m].name, metric_sums[m] / static_cast<double>(outcomes.size())});
+        }
+    }
+    return summary;
+}
+
+scenario_run_result run_scenario_trials(const any_scenario& s, const scenario_params& params,
+                                        std::size_t trials, std::uint64_t base_seed,
+                                        const sim::trial_executor& executor) {
+    scenario_run_result result;
+    result.outcomes = executor.map(
+        trials, base_seed, [&s, &params](std::uint64_t seed) { return s.run(params, seed); });
+    result.summary = summarize_outcomes(result.outcomes);
+    return result;
+}
+
+}  // namespace plurality::scenario

@@ -1,0 +1,52 @@
+// Multi-trial execution of registered scenarios: the glue between the
+// type-erased scenario layer and the seed-indexed trial executor.
+//
+// The summary is a pure function of (scenario, params, trials, base_seed) —
+// trial i always runs the stream derive_seed(base_seed, i) and aggregation
+// walks the outcomes in index order, so two runs with equal seeds agree
+// bitwise at any thread count (the experiment CLI's JSON documents rely on
+// this).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/stats.h"
+#include "scenario/scenario.h"
+#include "sim/trial_executor.h"
+
+namespace plurality::scenario {
+
+/// Aggregate over a batch of scenario trials.
+struct scenario_run_summary {
+    std::size_t trials = 0;
+    std::size_t converged = 0;
+    std::size_t correct = 0;
+    analysis::summary_stats time_stats;  ///< parallel time over converged trials
+    std::uint64_t total_interactions = 0;
+    std::vector<metric> mean_metrics;  ///< per-metric mean over all trials
+
+    [[nodiscard]] double success_rate() const noexcept {
+        return trials == 0 ? 0.0 : static_cast<double>(correct) / static_cast<double>(trials);
+    }
+};
+
+/// Per-trial outcomes (index == trial == seed stream) plus their summary.
+struct scenario_run_result {
+    std::vector<scenario_outcome> outcomes;
+    scenario_run_summary summary;
+};
+
+/// Folds outcomes (in index order) into a summary.  Exposed so tests can
+/// aggregate hand-built outcome vectors through the same code path.
+[[nodiscard]] scenario_run_summary summarize_outcomes(
+    const std::vector<scenario_outcome>& outcomes);
+
+/// Runs `trials` independent executions of `s` under `params`, fanned out
+/// over `executor`.
+[[nodiscard]] scenario_run_result run_scenario_trials(const any_scenario& s,
+                                                      const scenario_params& params,
+                                                      std::size_t trials, std::uint64_t base_seed,
+                                                      const sim::trial_executor& executor);
+
+}  // namespace plurality::scenario

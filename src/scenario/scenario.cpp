@@ -1,0 +1,53 @@
+#include "scenario/scenario.h"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string_view>
+
+namespace plurality::scenario {
+
+workload::opinion_distribution make_workload(const scenario_params& params, sim::rng& gen) {
+    if (params.workload == "bias1")
+        return workload::make_bias_one(params.n, params.k, params.bias);
+    if (params.workload == "uniform") return workload::make_uniform_random(params.n, params.k, gen);
+    if (params.workload == "zipf")
+        return workload::make_zipf(params.n, params.k, params.zipf_s, gen);
+    if (params.workload == "dominant")
+        return workload::make_dominant_plus_dust(params.n, params.fraction, params.dust);
+    if (params.workload == "two-heavy")
+        return workload::make_two_heavy_plus_dust(params.n, params.bias, params.dust);
+    throw std::invalid_argument("unknown workload '" + params.workload +
+                                "' (expected bias1|uniform|zipf|dominant|two-heavy)");
+}
+
+flag_parse parse_param_flag(scenario_params& params, int argc, char** argv, int& i) {
+    const std::string_view flag = argv[i];
+    const auto is_param = flag == "--n" || flag == "--k" || flag == "--workload" ||
+                          flag == "--bias" || flag == "--dust" || flag == "--fraction" ||
+                          flag == "--zipf-s" || flag == "--sources" || flag == "--time-budget";
+    if (!is_param) return flag_parse::not_mine;
+    if (i + 1 >= argc) return flag_parse::missing_value;
+    const char* value = argv[++i];
+    if (flag == "--n") {
+        params.n = static_cast<std::uint32_t>(std::strtoul(value, nullptr, 10));
+    } else if (flag == "--k") {
+        params.k = static_cast<std::uint32_t>(std::strtoul(value, nullptr, 10));
+    } else if (flag == "--workload") {
+        params.workload = value;
+    } else if (flag == "--bias") {
+        params.bias = static_cast<std::uint32_t>(std::strtoul(value, nullptr, 10));
+    } else if (flag == "--dust") {
+        params.dust = static_cast<std::uint32_t>(std::strtoul(value, nullptr, 10));
+    } else if (flag == "--fraction") {
+        params.fraction = std::strtod(value, nullptr) / 100.0;
+    } else if (flag == "--zipf-s") {
+        params.zipf_s = std::strtod(value, nullptr);
+    } else if (flag == "--sources") {
+        params.sources = static_cast<std::uint32_t>(std::strtoul(value, nullptr, 10));
+    } else {  // --time-budget
+        params.time_budget = std::strtod(value, nullptr);
+    }
+    return flag_parse::consumed;
+}
+
+}  // namespace plurality::scenario

@@ -1,0 +1,218 @@
+// The unified scenario abstraction: "run protocol X on workload W with
+// population n to convergence" behind one type-erased interface.
+//
+// A scenario bundles what every protocol family in this repository needs to
+// be executable from the generic experiment CLI (apps/plurality_run) and the
+// multi-trial runner (scenario/runner.h):
+//
+//   * a protocol factory           (make_protocol),
+//   * an initial-population builder (make_population),
+//   * a convergence predicate       (converged),
+//   * a correctness predicate       (correct),
+//   * a parallel-time budget        (time_budget),
+//   * named metric extractors       (metrics) — also reused as the time
+//     series of `--trace` recordings.
+//
+// The `scenario_spec` concept captures that shape for a concrete protocol
+// type; `any_scenario` type-erases it so registries, CLIs and tests can hold
+// heterogeneous scenarios in one container.  A registered family is ~30
+// lines (see scenario/builtin_*.cpp); everything else — seeding, the
+// convergence loop, tracing, trial fan-out, JSON reporting — is shared.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/convergence.h"
+#include "sim/rng.h"
+#include "sim/simulation.h"
+#include "trace/recorder.h"
+#include "workload/opinion_distribution.h"
+
+namespace plurality::scenario {
+
+/// Parameter block shared by every scenario; each scenario reads the subset
+/// it understands and ignores the rest.  All fields have CLI flags.
+struct scenario_params {
+    std::uint32_t n = 1024;          ///< population size
+    std::uint32_t k = 2;             ///< number of opinions (plurality families)
+    std::string workload = "bias1";  ///< bias1 | uniform | zipf | dominant | two-heavy
+    std::uint32_t bias = 1;          ///< support gap (workloads and majority families)
+    std::uint32_t dust = 8;          ///< insignificant opinions (dominant / two-heavy)
+    double fraction = 0.5;           ///< dominant opinion's share (dominant workload)
+    double zipf_s = 1.4;             ///< Zipf exponent (zipf workload)
+    std::uint32_t sources = 1;       ///< initially informed agents (epidemic)
+    double time_budget = 0.0;        ///< parallel-time cutoff; 0 = scenario default
+};
+
+/// Builds the opinion distribution a params block describes.  Random
+/// workloads (uniform, zipf) draw from `gen`, so each trial sees its own
+/// instance of the same regime.  Throws std::invalid_argument on an unknown
+/// workload name.
+[[nodiscard]] workload::opinion_distribution make_workload(const scenario_params& params,
+                                                           sim::rng& gen);
+
+/// Result of offering one argv flag to the shared scenario_params parser.
+enum class flag_parse {
+    not_mine,      ///< not a scenario_params flag; caller should try its own
+    consumed,      ///< flag and its value consumed, `i` advanced
+    missing_value  ///< recognized flag at the end of argv; caller should error
+};
+
+/// Parses the scenario_params CLI flag at `argv[i]` (--n, --k, --workload,
+/// --bias, --dust, --fraction, --zipf-s, --sources, --time-budget), shared
+/// by every driver that exposes the parameter surface (plurality_run,
+/// plurality_lab).  `--fraction` is given in percent.
+[[nodiscard]] flag_parse parse_param_flag(scenario_params& params, int argc, char** argv, int& i);
+
+/// One named measurement extracted from a final (or in-flight) configuration.
+struct metric {
+    std::string name;
+    double value = 0.0;
+};
+
+/// Scenario-agnostic outcome of one trial.
+struct scenario_outcome {
+    bool converged = false;  ///< convergence predicate held within the budget
+    bool correct = false;    ///< ... and the output is the designated right one
+    double parallel_time = 0.0;
+    std::uint64_t interactions = 0;
+    std::vector<metric> metrics;  ///< final values of the scenario's extractors
+};
+
+/// The structured shape a concrete scenario implementation must have.
+/// Methods are non-const so a spec may cache per-run state (typically the
+/// workload instance built inside make_population, consulted by correct());
+/// every run operates on a fresh copy of the spec.
+template <class S>
+concept scenario_spec =
+    sim::protocol<typename S::protocol_t> && std::copy_constructible<S> &&
+    requires(S s, const scenario_params& p, sim::rng& gen,
+             const sim::simulation<typename S::protocol_t>& sim) {
+        { s.make_protocol(p, gen) } -> std::same_as<typename S::protocol_t>;
+        {
+            s.make_population(p, gen)
+        } -> std::same_as<std::vector<typename S::protocol_t::agent_t>>;
+        { s.converged(sim) } -> std::convertible_to<bool>;
+        { s.correct(sim) } -> std::convertible_to<bool>;
+        { s.time_budget(p) } -> std::convertible_to<double>;
+        { s.metrics(sim) } -> std::convertible_to<std::vector<metric>>;
+    };
+
+/// Seed streams the scenario driver derives from a trial seed: one for setup
+/// randomness (workload sampling, population shuffling), one for the
+/// interaction schedule.
+inline constexpr std::uint64_t scenario_setup_stream = 0x5ce7a0ull;
+inline constexpr std::uint64_t scenario_run_stream = 0x5ce7a1ull;
+
+/// Type-erased scenario: owns a name, family and description plus the erased
+/// spec.  Copy is cheap (shared immutable model).
+class any_scenario {
+public:
+    template <scenario_spec S>
+    any_scenario(std::string name, std::string family, std::string description, S spec)
+        : name_(std::move(name)),
+          family_(std::move(family)),
+          description_(std::move(description)),
+          model_(std::make_shared<model<S>>(std::move(spec))) {}
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] const std::string& family() const noexcept { return family_; }
+    [[nodiscard]] const std::string& description() const noexcept { return description_; }
+
+    /// Runs one trial.  Fully deterministic in `seed`.
+    [[nodiscard]] scenario_outcome run(const scenario_params& params, std::uint64_t seed) const {
+        return model_->run(params, seed, 0.0, nullptr);
+    }
+
+    /// Runs one trial while sampling every metric each `cadence` parallel
+    /// time units (first sample at time 0) and writes the series as CSV.
+    /// The trajectory and outcome are identical to `run` with the same seed.
+    [[nodiscard]] scenario_outcome run_traced(const scenario_params& params, std::uint64_t seed,
+                                              double cadence, std::ostream& csv) const {
+        return model_->run(params, seed, cadence, &csv);
+    }
+
+private:
+    struct iface {
+        virtual ~iface() = default;
+        [[nodiscard]] virtual scenario_outcome run(const scenario_params& params,
+                                                   std::uint64_t seed, double cadence,
+                                                   std::ostream* csv) const = 0;
+    };
+
+    template <class S>
+    struct model final : iface {
+        explicit model(S spec) : spec_(std::move(spec)) {}
+
+        [[nodiscard]] scenario_outcome run(const scenario_params& params, std::uint64_t seed,
+                                           double cadence, std::ostream* csv) const override {
+            using sim_t = sim::simulation<typename S::protocol_t>;
+            if (params.n < 2)
+                throw std::invalid_argument("scenario requires a population of n >= 2");
+            S spec = spec_;  // fresh per-run state
+            sim::rng setup(sim::derive_seed(seed, scenario_setup_stream));
+            auto protocol = spec.make_protocol(params, setup);
+            auto population = spec.make_population(params, setup);
+            sim_t sim{std::move(protocol), std::move(population),
+                      sim::derive_seed(seed, scenario_run_stream)};
+
+            const double budget =
+                params.time_budget > 0.0 ? params.time_budget : spec.time_budget(params);
+            const auto max_interactions =
+                sim::interaction_budget(budget, sim.population_size());
+            const auto done = [&spec](const sim_t& s) { return spec.converged(s); };
+
+            sim::convergence_outcome conv;
+            if (csv != nullptr) {
+                trace::recorder<sim_t> rec(cadence > 0.0 ? cadence : 1.0);
+                // All series share one metrics evaluation per sample point
+                // (keyed by the interaction count, which is unique per
+                // sample) instead of re-scanning the agents per column.
+                struct metric_cache {
+                    std::uint64_t at = ~0ull;
+                    std::vector<metric> values;
+                };
+                auto cache = std::make_shared<metric_cache>();
+                const auto layout = spec.metrics(sim);
+                for (std::size_t i = 0; i < layout.size(); ++i) {
+                    rec.add_series(layout[i].name, [&spec, cache, i](const sim_t& s) {
+                        if (cache->at != s.interactions()) {
+                            cache->values = spec.metrics(s);
+                            cache->at = s.interactions();
+                        }
+                        return cache->values.at(i).value;
+                    });
+                }
+                conv = sim::converge(sim, done, max_interactions, 0,
+                                     [&rec](const sim_t& s) { rec.maybe_sample(s); });
+                rec.write_csv(*csv);
+            } else {
+                conv = sim::converge(sim, done, max_interactions);
+            }
+
+            scenario_outcome out;
+            out.converged = conv.converged;
+            out.parallel_time = conv.parallel_time;
+            out.interactions = conv.interactions;
+            out.correct = conv.converged && spec.correct(sim);
+            out.metrics = spec.metrics(sim);
+            return out;
+        }
+
+        S spec_;
+    };
+
+    std::string name_;
+    std::string family_;
+    std::string description_;
+    std::shared_ptr<const iface> model_;
+};
+
+}  // namespace plurality::scenario

@@ -1,0 +1,78 @@
+// Shared convergence layer: the one run-to-predicate loop every protocol
+// family drives through.
+//
+// Before this header existed, each run helper (core::run_to_consensus,
+// baselines::run_usd, epidemic::measure_broadcast_time,
+// loadbalance::measure_balancing_time, per-bench loops) re-implemented the
+// same pattern: derive an interaction budget from a parallel-time budget,
+// step the simulation in check-sized batches, test a predicate, and package
+// {converged, parallel_time, interactions}.  `converge` owns that pattern;
+// callers contribute only the predicate and, optionally, an observer that is
+// invoked at every check point — including once at parallel time 0, before
+// the first interaction, which is what lets trace recorders anchor their
+// first sample at t = 0.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sim/simulation.h"
+
+namespace plurality::sim {
+
+/// Outcome of driving a simulation to a convergence predicate.
+struct convergence_outcome {
+    bool converged = false;          ///< predicate held within the budget
+    double parallel_time = 0.0;      ///< parallel time when the loop stopped
+    std::uint64_t interactions = 0;  ///< interactions executed in total
+};
+
+/// Interaction budget for `time_budget` units of parallel time over `n`
+/// agents (parallel time = interactions / n).
+[[nodiscard]] constexpr std::uint64_t interaction_budget(double time_budget,
+                                                         std::size_t n) noexcept {
+    return time_budget <= 0.0 ? 0
+                              : static_cast<std::uint64_t>(time_budget * static_cast<double>(n));
+}
+
+/// Callable invoked at every predicate check point (tracing hook).
+template <class T, class Sim>
+concept convergence_observer = std::invocable<T&, const Sim&>;
+
+/// Runs `sim` until `done(sim)` holds or `max_interactions` total
+/// interactions have executed, checking every `check_every` interactions
+/// (0 = once per parallel-time unit).  `observe(sim)` fires before the first
+/// interaction and after every subsequent check.
+///
+/// The trajectory is a pure function of the simulation's seed; `check_every`
+/// only affects how promptly the loop notices convergence.
+template <protocol P, std::predicate<const simulation<P>&> Done,
+          convergence_observer<simulation<P>> Observe>
+convergence_outcome converge(simulation<P>& sim, Done&& done, std::uint64_t max_interactions,
+                             std::uint64_t check_every, Observe&& observe) {
+    if (check_every == 0) check_every = sim.population_size();
+    observe(sim);
+    bool reached = done(sim);
+    while (!reached && sim.interactions() < max_interactions) {
+        const std::uint64_t batch =
+            std::min<std::uint64_t>(check_every, max_interactions - sim.interactions());
+        sim.run_for(batch);
+        observe(sim);
+        reached = done(sim);
+    }
+    convergence_outcome out;
+    out.converged = reached;
+    out.parallel_time = sim.parallel_time();
+    out.interactions = sim.interactions();
+    return out;
+}
+
+/// Observer-free overload.
+template <protocol P, std::predicate<const simulation<P>&> Done>
+convergence_outcome converge(simulation<P>& sim, Done&& done, std::uint64_t max_interactions,
+                             std::uint64_t check_every = 0) {
+    return converge(sim, std::forward<Done>(done), max_interactions, check_every,
+                    [](const simulation<P>&) {});
+}
+
+}  // namespace plurality::sim

@@ -21,6 +21,7 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "analysis/stats.h"
@@ -80,27 +81,37 @@ public:
     template <trial_fn Trial>
     [[nodiscard]] trial_summary run(std::size_t trials, std::uint64_t base_seed,
                                     Trial&& trial) const {
-        std::vector<trial_outcome> outcomes(trials);
-        if (threads_ <= 1 || trials <= 1) {
-            for (std::size_t i = 0; i < trials; ++i) {
-                outcomes[i] = trial(derive_seed(base_seed, i));
-            }
-        } else {
-            run_on_pool(outcomes, base_seed, [&trial](std::uint64_t seed) -> trial_outcome {
-                return trial(seed);
-            });
-        }
+        const auto outcomes = map(trials, base_seed, [&trial](std::uint64_t seed) -> trial_outcome {
+            return trial(seed);
+        });
         return aggregate_trials(outcomes);
     }
 
+    /// Generic seed-indexed fan-out: evaluates `fn(derive_seed(base_seed, i))`
+    /// for i in [0, count) and returns the results in index order.  The same
+    /// determinism contract as `run` holds — slot i's value never depends on
+    /// the thread count.  The result type must be default-constructible;
+    /// `fn` must be safe to invoke concurrently when `threads() > 1`.
+    template <class Fn>
+        requires std::invocable<Fn&, std::uint64_t>
+    [[nodiscard]] auto map(std::size_t count, std::uint64_t base_seed, Fn&& fn) const
+        -> std::vector<std::decay_t<std::invoke_result_t<Fn&, std::uint64_t>>> {
+        std::vector<std::decay_t<std::invoke_result_t<Fn&, std::uint64_t>>> results(count);
+        if (threads_ <= 1 || count <= 1) {
+            for (std::size_t i = 0; i < count; ++i) results[i] = fn(derive_seed(base_seed, i));
+        } else {
+            run_on_pool(results, base_seed, fn);
+        }
+        return results;
+    }
+
 private:
-    /// Type-erased parallel fan-out: workers claim trial indices from a
-    /// shared counter (dynamic load balancing — trial durations vary a lot
-    /// near the success/timeout boundary) and write into their outcome slot.
-    /// The first exception thrown by any trial is rethrown on the caller.
-    template <class Trial>
-    void run_on_pool(std::vector<trial_outcome>& outcomes, std::uint64_t base_seed,
-                     Trial trial) const {
+    /// Parallel fan-out: workers claim trial indices from a shared counter
+    /// (dynamic load balancing — trial durations vary a lot near the
+    /// success/timeout boundary) and write into their outcome slot.  The
+    /// first exception thrown by any trial is rethrown on the caller.
+    template <class Result, class Trial>
+    void run_on_pool(std::vector<Result>& outcomes, std::uint64_t base_seed, Trial& trial) const {
         std::atomic<std::size_t> next_index{0};
         std::atomic<bool> failed{false};
         std::exception_ptr first_error;

@@ -6,6 +6,7 @@
 // fixed parallel-time cadence and exports CSV for offline plotting.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
@@ -33,15 +34,24 @@ public:
         columns_.emplace_back();
     }
 
-    /// Samples all series if at least `cadence` parallel time passed since
-    /// the last sample.  Returns true if a sample was taken.
+    /// Samples all series if the sampling grid is due.  Returns true if a
+    /// sample was taken.
+    ///
+    /// The grid is anchored at parallel time 0: samples are due at 0,
+    /// cadence, 2·cadence, ... and the recorder fires at the first call at
+    /// or past each due point.  In particular the very first call always
+    /// samples — a caller that checks at time 0 (sim/convergence.h's
+    /// observer does) gets its first sample at exactly t = 0 even when the
+    /// cadence is far larger than the check interval.
     bool maybe_sample(const Simulation& simulation) {
         const double now = simulation.parallel_time();
-        if (!times_.empty() && now < times_.back() + cadence_) return false;
+        if (now < next_due_) return false;
         times_.push_back(now);
         for (std::size_t i = 0; i < series_.size(); ++i) {
             columns_[i].push_back(series_[i].sample(simulation));
         }
+        // The smallest grid point strictly ahead of `now`.
+        next_due_ = cadence_ > 0.0 ? (std::floor(now / cadence_) + 1.0) * cadence_ : now;
         return true;
     }
 
@@ -63,6 +73,7 @@ public:
 
 private:
     double cadence_;
+    double next_due_ = 0.0;  ///< next grid point a sample is owed at
     std::vector<series<Simulation>> series_;
     std::vector<double> times_;
     std::vector<std::vector<double>> columns_;

@@ -1,0 +1,138 @@
+#include "util/json.h"
+
+#include <array>
+#include <charconv>
+#include <cmath>
+#include <ostream>
+
+namespace plurality::util {
+
+std::string json_escape(std::string_view text) {
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\b': out += "\\b"; break;
+            case '\f': out += "\\f"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    static constexpr char hex[] = "0123456789abcdef";
+                    out += "\\u00";
+                    out += hex[(c >> 4) & 0xf];
+                    out += hex[c & 0xf];
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+std::string json_number(double value) {
+    if (!std::isfinite(value)) return "null";
+    std::array<char, 64> buffer{};
+    const auto [end, ec] = std::to_chars(buffer.data(), buffer.data() + buffer.size(), value);
+    if (ec != std::errc{}) return "null";
+    std::string out(buffer.data(), end);
+    // to_chars may emit bare integers ("42") or exponent forms ("1e+30");
+    // both are valid JSON numbers, so no post-processing is needed.
+    return out;
+}
+
+json_writer& json_writer::key(std::string_view name) {
+    prepare_slot();
+    raw("\"");
+    raw(json_escape(name));
+    raw("\": ");
+    key_pending_ = true;
+    return *this;
+}
+
+json_writer& json_writer::value(std::string_view text) {
+    prepare_slot();
+    raw("\"");
+    raw(json_escape(text));
+    raw("\"");
+    return *this;
+}
+
+json_writer& json_writer::value(double number) {
+    prepare_slot();
+    raw(json_number(number));
+    return *this;
+}
+
+json_writer& json_writer::value(std::uint64_t number) {
+    prepare_slot();
+    std::array<char, 24> buffer{};
+    const auto [end, ec] = std::to_chars(buffer.data(), buffer.data() + buffer.size(), number);
+    raw(ec == std::errc{} ? std::string_view(buffer.data(), end) : std::string_view("0"));
+    return *this;
+}
+
+json_writer& json_writer::value(std::int64_t number) {
+    prepare_slot();
+    std::array<char, 24> buffer{};
+    const auto [end, ec] = std::to_chars(buffer.data(), buffer.data() + buffer.size(), number);
+    raw(ec == std::errc{} ? std::string_view(buffer.data(), end) : std::string_view("0"));
+    return *this;
+}
+
+json_writer& json_writer::value(bool flag) {
+    prepare_slot();
+    raw(flag ? "true" : "false");
+    return *this;
+}
+
+json_writer& json_writer::null() {
+    prepare_slot();
+    raw("null");
+    return *this;
+}
+
+json_writer& json_writer::open(char opener, char closer) {
+    (void)closer;
+    prepare_slot();
+    os_.put(opener);
+    stack_.push_back({});
+    return *this;
+}
+
+json_writer& json_writer::close(char closer) {
+    if (stack_.empty()) return *this;  // unbalanced close: refuse rather than pop-underflow
+    const bool empty = stack_.back().first;
+    stack_.pop_back();
+    if (!empty) {
+        os_.put('\n');
+        indent();
+    }
+    os_.put(closer);
+    if (stack_.empty()) os_.put('\n');  // document end
+    return *this;
+}
+
+void json_writer::prepare_slot() {
+    if (key_pending_) {
+        // Value attaches directly after "key": — no comma handling here.
+        key_pending_ = false;
+        return;
+    }
+    if (stack_.empty()) return;  // document root
+    if (!stack_.back().first) os_.put(',');
+    stack_.back().first = false;
+    os_.put('\n');
+    indent();
+}
+
+void json_writer::indent() {
+    for (std::size_t i = 0; i < stack_.size(); ++i) os_ << "  ";
+}
+
+void json_writer::raw(std::string_view text) { os_ << text; }
+
+}  // namespace plurality::util

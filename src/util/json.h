@@ -1,0 +1,73 @@
+// A small deterministic JSON emitter.
+//
+// The experiment CLI promises byte-identical documents for identical
+// results, so formatting must not depend on locale, stream state, or
+// platform printf quirks:
+//
+//  * numbers go through std::to_chars (shortest round-trip form for
+//    doubles),
+//  * non-finite doubles become null (JSON has no NaN/Inf),
+//  * strings are escaped per RFC 8259,
+//  * the writer itself owns all commas, newlines and indentation.
+//
+// Usage:
+//   json_writer w(os);
+//   w.begin_object();
+//   w.key("n").value(std::uint64_t{1024});
+//   w.key("tags").begin_array().value("a").value("b").end_array();
+//   w.end_object();   // emits the trailing newline
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace plurality::util {
+
+/// Escapes `text` for use inside a JSON string literal (quotes excluded).
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+/// Shortest round-trip decimal form of `value`; "null" when non-finite.
+[[nodiscard]] std::string json_number(double value);
+
+class json_writer {
+public:
+    /// Pretty-prints with 2-space indentation (stable, diff-friendly).
+    explicit json_writer(std::ostream& os) : os_(os) {}
+
+    json_writer& begin_object() { return open('{', '}'); }
+    json_writer& end_object() { return close('}'); }
+    json_writer& begin_array() { return open('[', ']'); }
+    json_writer& end_array() { return close(']'); }
+
+    /// Emits an object key; the next value (or container) attaches to it.
+    json_writer& key(std::string_view name);
+
+    json_writer& value(std::string_view text);
+    json_writer& value(const char* text) { return value(std::string_view{text}); }
+    json_writer& value(double number);
+    json_writer& value(std::uint64_t number);
+    json_writer& value(std::int64_t number);
+    json_writer& value(std::uint32_t number) { return value(static_cast<std::uint64_t>(number)); }
+    json_writer& value(bool flag);
+    json_writer& null();
+
+private:
+    json_writer& open(char opener, char closer);
+    json_writer& close(char closer);
+    /// Comma/newline/indent bookkeeping before a value or key is emitted.
+    void prepare_slot();
+    void indent();
+    void raw(std::string_view text);
+
+    std::ostream& os_;
+    struct level {
+        bool first = true;
+    };
+    std::vector<level> stack_;
+    bool key_pending_ = false;
+};
+
+}  // namespace plurality::util

@@ -1,0 +1,216 @@
+// Tests for the deterministic JSON emitter (util/json.h) and the
+// plurality_run report document (scenario/json_report.h).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "scenario/json_report.h"
+#include "scenario/registry.h"
+#include "scenario/runner.h"
+#include "util/json.h"
+
+namespace {
+
+using plurality::util::json_escape;
+using plurality::util::json_number;
+using plurality::util::json_writer;
+
+TEST(JsonWriter, EscapesControlAndQuoteCharacters) {
+    EXPECT_EQ(json_escape("plain"), "plain");
+    EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+    EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+    EXPECT_EQ(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+    EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonWriter, NumbersRoundTripShortest) {
+    EXPECT_EQ(json_number(0.0), "0");
+    EXPECT_EQ(json_number(1.5), "1.5");
+    EXPECT_EQ(json_number(0.1), "0.1");  // shortest form, not 0.1000000000000000055
+    EXPECT_EQ(json_number(-3.25), "-3.25");
+    EXPECT_EQ(json_number(std::nan("")), "null");
+    EXPECT_EQ(json_number(INFINITY), "null");
+    // Round-trip: the shortest form parses back to the same bits.
+    EXPECT_EQ(std::stod(json_number(1.0 / 3.0)), 1.0 / 3.0);
+}
+
+TEST(JsonWriter, EmitsNestedDocument) {
+    std::ostringstream os;
+    json_writer w(os);
+    w.begin_object();
+    w.key("name").value("x");
+    w.key("count").value(std::uint64_t{3});
+    w.key("ok").value(true);
+    w.key("list").begin_array().value(1.5).value(std::uint64_t{2}).end_array();
+    w.key("empty").begin_object().end_object();
+    w.end_object();
+    EXPECT_EQ(os.str(),
+              "{\n"
+              "  \"name\": \"x\",\n"
+              "  \"count\": 3,\n"
+              "  \"ok\": true,\n"
+              "  \"list\": [\n"
+              "    1.5,\n"
+              "    2\n"
+              "  ],\n"
+              "  \"empty\": {}\n"
+              "}\n");
+}
+
+TEST(JsonWriter, BalancedBracesAndQuotes) {
+    std::ostringstream os;
+    json_writer w(os);
+    w.begin_object();
+    w.key("a").begin_array();
+    for (int i = 0; i < 3; ++i) {
+        w.begin_object();
+        w.key("i").value(static_cast<std::uint64_t>(i));
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    const std::string text = os.str();
+    EXPECT_EQ(std::count(text.begin(), text.end(), '{'), std::count(text.begin(), text.end(), '}'));
+    EXPECT_EQ(std::count(text.begin(), text.end(), '['), std::count(text.begin(), text.end(), ']'));
+    EXPECT_EQ(std::count(text.begin(), text.end(), '"') % 2, 0);
+}
+
+// A miniature recursive-descent JSON checker: enough of RFC 8259 to verify
+// the report document is structurally well-formed (the writer can only be
+// misused into imbalance, never into bad tokens).
+class json_checker {
+public:
+    explicit json_checker(std::string_view text) : text_(text) {}
+
+    bool valid() {
+        skip_ws();
+        if (!parse_value()) return false;
+        skip_ws();
+        return pos_ == text_.size();
+    }
+
+private:
+    bool parse_value() {
+        if (pos_ >= text_.size()) return false;
+        switch (text_[pos_]) {
+            case '{': return parse_object();
+            case '[': return parse_array();
+            case '"': return parse_string();
+            case 't': return literal("true");
+            case 'f': return literal("false");
+            case 'n': return literal("null");
+            default: return parse_number();
+        }
+    }
+    bool parse_object() {
+        ++pos_;  // '{'
+        skip_ws();
+        if (peek() == '}') return ++pos_, true;
+        for (;;) {
+            skip_ws();
+            if (!parse_string()) return false;
+            skip_ws();
+            if (peek() != ':') return false;
+            ++pos_;
+            skip_ws();
+            if (!parse_value()) return false;
+            skip_ws();
+            if (peek() == ',') { ++pos_; continue; }
+            if (peek() == '}') return ++pos_, true;
+            return false;
+        }
+    }
+    bool parse_array() {
+        ++pos_;  // '['
+        skip_ws();
+        if (peek() == ']') return ++pos_, true;
+        for (;;) {
+            skip_ws();
+            if (!parse_value()) return false;
+            skip_ws();
+            if (peek() == ',') { ++pos_; continue; }
+            if (peek() == ']') return ++pos_, true;
+            return false;
+        }
+    }
+    bool parse_string() {
+        if (peek() != '"') return false;
+        for (++pos_; pos_ < text_.size(); ++pos_) {
+            if (text_[pos_] == '\\') {
+                ++pos_;
+            } else if (text_[pos_] == '"') {
+                ++pos_;
+                return true;
+            }
+        }
+        return false;
+    }
+    bool parse_number() {
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '-' ||
+                text_[pos_] == '+' || text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E')) {
+            ++pos_;
+        }
+        return pos_ > start;
+    }
+    bool literal(std::string_view word) {
+        if (text_.substr(pos_, word.size()) != word) return false;
+        pos_ += word.size();
+        return true;
+    }
+    char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+    void skip_ws() {
+        while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+                                       text_[pos_] == '\t' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+TEST(JsonReport, DocumentParsesAndCarriesSchema) {
+    using namespace plurality;
+    const auto* s = scenario::scenario_registry::instance().find("epidemic/broadcast");
+    ASSERT_NE(s, nullptr);
+    scenario::scenario_params params;
+    params.n = 256;
+    const sim::trial_executor executor{1};
+    const auto result = scenario::run_scenario_trials(*s, params, 3, 5, executor);
+
+    std::ostringstream os;
+    scenario::write_json_report(os, *s, params, 5, result);
+    const std::string doc = os.str();
+
+    EXPECT_TRUE(json_checker(doc).valid()) << doc;
+    for (const char* required :
+         {"\"schema\": \"plurality_run/1\"", "\"scenario\": \"epidemic/broadcast\"",
+          "\"params\"", "\"base_seed\": 5", "\"trials\"", "\"converged\"", "\"correct\"",
+          "\"parallel_time\"", "\"interactions\"", "\"metrics\"", "\"summary\"",
+          "\"success_rate\"", "\"mean_metrics\"", "\"total_interactions\""}) {
+        EXPECT_NE(doc.find(required), std::string::npos) << required;
+    }
+}
+
+TEST(JsonReport, EmptyTrialListStillValid) {
+    using namespace plurality;
+    const auto* s = scenario::scenario_registry::instance().find("epidemic/broadcast");
+    ASSERT_NE(s, nullptr);
+    scenario::scenario_params params;
+    scenario::scenario_run_result result;
+    result.summary = scenario::summarize_outcomes(result.outcomes);
+
+    std::ostringstream os;
+    scenario::write_json_report(os, *s, params, 0, result);
+    EXPECT_TRUE(json_checker(os.str()).valid()) << os.str();
+    EXPECT_NE(os.str().find("\"trials\": []"), std::string::npos);
+}
+
+}  // namespace

@@ -45,6 +45,60 @@ TEST(Recorder, RespectsCadenceGap) {
     EXPECT_EQ(rec.samples(), 1u);
 }
 
+TEST(Recorder, FirstSampleAlwaysTakenAtTimeZero) {
+    // Cadence far above the check interval: the time-0 grid point is still
+    // due on the very first call, so a caller checking at t = 0 (the
+    // convergence layer's observer) records its first sample at exactly 0.
+    auto s = make_sim(64);
+    plurality::trace::recorder<sim_t> rec(1000.0);
+    rec.add_series("informed", [](const sim_t& sim) {
+        return static_cast<double>(plurality::epidemic::informed_count(sim.agents()));
+    });
+    EXPECT_TRUE(rec.maybe_sample(s));  // before any interaction
+    for (int i = 0; i < 10; ++i) {
+        s.run_for(64);
+        rec.maybe_sample(s);
+    }
+    ASSERT_EQ(rec.samples(), 1u);
+    EXPECT_DOUBLE_EQ(rec.times().front(), 0.0);
+    EXPECT_DOUBLE_EQ(rec.column(0).front(), 1.0);
+}
+
+TEST(Recorder, SamplesAlignToCadenceGridBoundary) {
+    // Checks every 0.5 time units with cadence 2: samples land on the grid
+    // points 0, 2, 4, ... — not on a drifting last-sample-plus-cadence
+    // schedule.
+    auto s = make_sim(64);
+    plurality::trace::recorder<sim_t> rec(2.0);
+    rec.add_series("zero", [](const sim_t&) { return 0.0; });
+    rec.maybe_sample(s);  // t = 0
+    for (int i = 0; i < 16; ++i) {
+        s.run_for(32);  // half a parallel-time unit
+        rec.maybe_sample(s);
+    }
+    // 8 time units total: samples at 0, 2, 4, 6, 8.
+    ASSERT_EQ(rec.samples(), 5u);
+    for (std::size_t i = 0; i < rec.samples(); ++i) {
+        EXPECT_DOUBLE_EQ(rec.times()[i], 2.0 * static_cast<double>(i));
+    }
+}
+
+TEST(Recorder, LateFirstCallSamplesImmediately) {
+    // If the caller only starts checking after the cadence has elapsed, the
+    // overdue grid point fires on the first call and the schedule realigns
+    // to the grid.
+    auto s = make_sim(64);
+    plurality::trace::recorder<sim_t> rec(2.0);
+    rec.add_series("zero", [](const sim_t&) { return 0.0; });
+    s.run_for(3 * 64);  // t = 3: grid points 0 and 2 already passed
+    EXPECT_TRUE(rec.maybe_sample(s));
+    s.run_for(64);  // t = 4: next grid point
+    EXPECT_TRUE(rec.maybe_sample(s));
+    ASSERT_EQ(rec.samples(), 2u);
+    EXPECT_DOUBLE_EQ(rec.times()[0], 3.0);
+    EXPECT_DOUBLE_EQ(rec.times()[1], 4.0);
+}
+
 TEST(Recorder, SeriesValuesAreMonotoneForEpidemic) {
     auto s = make_sim(256);
     plurality::trace::recorder<sim_t> rec(1.0);

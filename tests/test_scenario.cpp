@@ -1,0 +1,153 @@
+// Tests for the unified scenario layer: registry completeness (every
+// registered scenario runs to convergence at small n and reports sane
+// metrics), determinism of the multi-trial runner across thread counts, and
+// registry bookkeeping.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "scenario/builtin.h"
+#include "scenario/json_report.h"
+#include "scenario/registry.h"
+#include "scenario/runner.h"
+#include "sim/trial_executor.h"
+
+namespace {
+
+using namespace plurality;
+using scenario::scenario_params;
+using scenario::scenario_registry;
+
+/// Small-but-safe parameters per family: sizes where every protocol
+/// converges deterministically fast, with biases comfortably inside each
+/// protocol's w.h.p. regime where convergence (not correctness) needs it.
+scenario_params small_params(const std::string& family) {
+    scenario_params p;
+    if (family == "plurality") {
+        p.n = 512;
+        p.k = 2;
+    } else if (family == "baselines") {
+        p.n = 257;
+        p.k = 3;
+    } else if (family == "majority") {
+        p.n = 300;
+        p.bias = 10;
+    } else if (family == "epidemic") {
+        p.n = 512;
+    } else if (family == "leader") {
+        p.n = 256;
+    } else {  // loadbalance
+        p.n = 512;
+    }
+    return p;
+}
+
+TEST(ScenarioRegistry, CoversEveryProtocolDirectory) {
+    const auto& registry = scenario_registry::instance();
+    EXPECT_GE(registry.size(), 9u);
+
+    std::set<std::string> families;
+    for (const auto& s : registry.all()) families.insert(s.family());
+    const std::set<std::string> expected{"plurality", "baselines", "majority",
+                                         "epidemic",  "leader",    "loadbalance"};
+    EXPECT_EQ(families, expected);
+}
+
+TEST(ScenarioRegistry, NamesAreSortedAndFindable) {
+    const auto& registry = scenario_registry::instance();
+    std::string previous;
+    for (const auto& s : registry.all()) {
+        EXPECT_LT(previous, s.name());
+        previous = s.name();
+        const auto* found = registry.find(s.name());
+        ASSERT_NE(found, nullptr);
+        EXPECT_EQ(found->name(), s.name());
+    }
+    EXPECT_EQ(registry.find("no/such-scenario"), nullptr);
+}
+
+TEST(ScenarioRegistry, RejectsDuplicateNames) {
+    scenario_registry registry;
+    scenario::register_builtin_scenarios(registry);
+    EXPECT_THROW(scenario::register_builtin_scenarios(registry), std::invalid_argument);
+}
+
+TEST(ScenarioRegistry, EveryScenarioConvergesAtSmallN) {
+    for (const auto& s : scenario_registry::instance().all()) {
+        const auto params = small_params(s.family());
+        const auto out = s.run(params, 1);
+        EXPECT_TRUE(out.converged) << s.name();
+        EXPECT_GT(out.parallel_time, 0.0) << s.name();
+        EXPECT_GT(out.interactions, 0u) << s.name();
+        EXPECT_FALSE(out.metrics.empty()) << s.name();
+        for (const auto& m : out.metrics) {
+            EXPECT_FALSE(m.name.empty()) << s.name();
+            EXPECT_TRUE(std::isfinite(m.value)) << s.name() << ":" << m.name;
+        }
+    }
+}
+
+TEST(ScenarioRunner, SummaryCountsConvergedAndCorrect) {
+    const auto* s = scenario_registry::instance().find("epidemic/broadcast");
+    ASSERT_NE(s, nullptr);
+    const sim::trial_executor executor{1};
+    const auto result =
+        scenario::run_scenario_trials(*s, small_params("epidemic"), 4, 77, executor);
+    EXPECT_EQ(result.outcomes.size(), 4u);
+    EXPECT_EQ(result.summary.trials, 4u);
+    EXPECT_EQ(result.summary.converged, 4u);
+    EXPECT_EQ(result.summary.correct, 4u);
+    EXPECT_DOUBLE_EQ(result.summary.success_rate(), 1.0);
+    ASSERT_EQ(result.summary.mean_metrics.size(), 1u);
+    EXPECT_EQ(result.summary.mean_metrics[0].name, "informed_fraction");
+    EXPECT_DOUBLE_EQ(result.summary.mean_metrics[0].value, 1.0);
+}
+
+TEST(ScenarioRunner, JsonReportIsByteIdenticalAcrossThreadCounts) {
+    const auto* s = scenario_registry::instance().find("baselines/usd");
+    ASSERT_NE(s, nullptr);
+    const auto params = small_params("baselines");
+
+    const auto report_at = [&](std::size_t threads) {
+        const sim::trial_executor executor{threads};
+        const auto result = scenario::run_scenario_trials(*s, params, 6, 123, executor);
+        std::ostringstream os;
+        scenario::write_json_report(os, *s, params, 123, result);
+        return os.str();
+    };
+    const std::string sequential = report_at(1);
+    const std::string parallel = report_at(3);
+    EXPECT_EQ(sequential, parallel);
+}
+
+TEST(ScenarioRunner, TracedRunMatchesPlainRunAndAnchorsAtTimeZero) {
+    const auto* s = scenario_registry::instance().find("loadbalance/averaging");
+    ASSERT_NE(s, nullptr);
+    const auto params = small_params("loadbalance");
+
+    const auto plain = s->run(params, 9);
+    std::ostringstream csv;
+    const auto traced = s->run_traced(params, 9, 100.0, csv);
+    EXPECT_EQ(plain.converged, traced.converged);
+    EXPECT_DOUBLE_EQ(plain.parallel_time, traced.parallel_time);
+    EXPECT_EQ(plain.interactions, traced.interactions);
+
+    // First CSV row is the t = 0 sample even though the cadence (100) far
+    // exceeds the check interval (1 parallel-time unit).
+    const std::string text = csv.str();
+    const auto header_end = text.find('\n');
+    ASSERT_NE(header_end, std::string::npos);
+    EXPECT_EQ(text.substr(0, header_end), "parallel_time,discrepancy,total_load");
+    EXPECT_EQ(text.substr(header_end + 1, 2), "0,");
+}
+
+TEST(ScenarioWorkloads, UnknownNameThrows) {
+    scenario_params p;
+    p.workload = "banana";
+    sim::rng gen(1);
+    EXPECT_THROW((void)scenario::make_workload(p, gen), std::invalid_argument);
+}
+
+}  // namespace

@@ -7,17 +7,24 @@
 //   plurality_run --list
 //   plurality_run --scenario NAME [--n N] [--k K] [--workload W] [--bias B]
 //                 [--dust D] [--fraction PCT] [--zipf-s S] [--sources C]
-//                 [--time-budget T] [--trials T] [--seed S] [--threads J]
+//                 [--time-budget T] [--backend agent|census]
+//                 [--trials T] [--seed S] [--threads J]
 //                 [--out FILE.json] [--trace FILE.csv] [--trace-cadence C]
 //
 // Determinism: the JSON document is a pure function of (scenario, params,
-// trials, seed).  --threads only changes wall-clock time; equal seeds give
-// byte-identical documents at any thread count.
+// trials, seed, backend).  --threads only changes wall-clock time; equal
+// seeds give byte-identical documents at any thread count.
+//
+// Backends: --backend agent (default) simulates every agent individually,
+// O(n) memory; --backend census simulates the state census (one counter per
+// occupied state), O(S) memory — the backend for population sizes far
+// beyond what per-agent storage can hold (see docs/ARCHITECTURE.md).
 //
 // Examples:
 //   plurality_run --list
 //   plurality_run --scenario plurality/ordered --n 1024 --k 4 --trials 20
 //   plurality_run --scenario baselines/usd --n 2049 --k 5 --trials 30 --threads 4
+//   plurality_run --scenario baselines/usd --n 100000000 --k 5 --backend census --trials 3
 //   plurality_run --scenario epidemic/broadcast --n 100000 --trace spread.csv
 #include <cstdio>
 #include <cstdlib>
@@ -41,6 +48,7 @@ struct options {
     std::string scenario;
     bool list = false;
     scenario::scenario_params params;
+    scenario::backend_kind backend = scenario::backend_kind::agent;
     std::size_t trials = 10;
     std::uint64_t seed = 42;
     std::size_t threads = 1;
@@ -55,7 +63,8 @@ struct options {
                  "       %s --scenario NAME [--n N] [--k K] [--workload "
                  "bias1|uniform|zipf|dominant|two-heavy]\n"
                  "          [--bias B] [--dust D] [--fraction PCT] [--zipf-s S] [--sources C]\n"
-                 "          [--time-budget T] [--trials T] [--seed S] [--threads J]\n"
+                 "          [--time-budget T] [--backend agent|census]\n"
+                 "          [--trials T] [--seed S] [--threads J]\n"
                  "          [--out FILE.json] [--trace FILE.csv] [--trace-cadence C]\n",
                  argv0, argv0);
     std::exit(exit_code);
@@ -78,6 +87,14 @@ options parse(int argc, char** argv) {
             opt.list = true;
         } else if (arg == "--scenario") {
             opt.scenario = value();
+        } else if (arg == "--backend") {
+            const char* name = value();
+            const auto backend = scenario::parse_backend(name);
+            if (!backend.has_value()) {
+                std::fprintf(stderr, "unknown backend '%s' (expected agent|census)\n", name);
+                usage(argv[0], 2);
+            }
+            opt.backend = *backend;
         } else if (arg == "--trials") {
             opt.trials = std::strtoul(value(), nullptr, 10);
         } else if (arg == "--seed") {
@@ -123,8 +140,8 @@ int main(int argc, char** argv) {
 
     try {
         const sim::trial_executor executor{opt.threads};
-        const auto result =
-            scenario::run_scenario_trials(*s, opt.params, opt.trials, opt.seed, executor);
+        const auto result = scenario::run_scenario_trials(*s, opt.params, opt.trials, opt.seed,
+                                                          executor, opt.backend);
 
         if (!opt.trace_path.empty()) {
             // Trace is a re-run of trial 0's exact stream (same seed, same
@@ -135,11 +152,11 @@ int main(int argc, char** argv) {
                 return 1;
             }
             (void)s->run_traced(opt.params, sim::derive_seed(opt.seed, 0), opt.trace_cadence,
-                                trace);
+                                trace, opt.backend);
         }
 
         std::ostringstream doc;
-        scenario::write_json_report(doc, *s, opt.params, opt.seed, result);
+        scenario::write_json_report(doc, *s, opt.params, opt.seed, result, opt.backend);
         if (opt.out_path.empty()) {
             std::cout << doc.str();
         } else {
@@ -151,10 +168,10 @@ int main(int argc, char** argv) {
             out << doc.str();
         }
 
-        std::fprintf(stderr, "%s: %zu/%zu converged, %zu/%zu correct, mean time %.1f\n",
-                     s->name().c_str(), result.summary.converged, result.summary.trials,
-                     result.summary.correct, result.summary.trials,
-                     result.summary.time_stats.mean);
+        std::fprintf(stderr, "%s [%s]: %zu/%zu converged, %zu/%zu correct, mean time %.1f\n",
+                     s->name().c_str(), scenario::backend_name(opt.backend),
+                     result.summary.converged, result.summary.trials, result.summary.correct,
+                     result.summary.trials, result.summary.time_stats.mean);
         return 0;
     } catch (const std::exception& error) {
         std::fprintf(stderr, "error: %s\n", error.what());

@@ -1,8 +1,9 @@
 // Shared helpers for the experiment benchmarks (bench/ = one binary per
-// experiment of DESIGN.md §3).  Each benchmark runs a *fixed, small* number
+// experiment, E1–E15).  Each benchmark runs a *fixed, small* number
 // of full protocol executions per iteration and reports the measured
 // quantities (parallel time, success rate, state counts, ...) as benchmark
-// counters; EXPERIMENTS.md records the resulting tables.
+// counters; docs/EXPERIMENTS.md maps each experiment to the paper claim or
+// engineering question it addresses.
 //
 // Throughput accounting: every repeated-run helper also records how many
 // scheduler interactions were executed and how long the batch took on the

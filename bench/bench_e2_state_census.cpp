@@ -3,7 +3,7 @@
 // particular it grows *linearly* in k, not quadratically as any
 // always-correct protocol must [29].
 //
-// Two censuses are reported (see DESIGN.md on the majority substitution):
+// Two censuses are reported (see docs/ARCHITECTURE.md on the majority substitution):
 //   structural — player majority loads bucketed to sign x exponent (the
 //                states a [20]-style representation would hold),
 //   full       — raw balanced loads (what the averaging substitute stores).

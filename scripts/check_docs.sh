@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Docs-drift check, run by ctest (docs_drift_check) and CI.
+#
+#  1. Scenario coverage: every scenario `plurality_run --list` reports must
+#     appear in docs/EXPERIMENTS.md's scenario table, so registering a
+#     scenario without documenting it fails the build.
+#  2. Link check: every relative markdown link in README.md and docs/*.md
+#     must point at a file that exists (anchors and external URLs are not
+#     checked).
+#
+# Usage: scripts/check_docs.sh /path/to/plurality_run
+set -euo pipefail
+
+repo_root=$(cd -- "$(dirname -- "${BASH_SOURCE[0]}")/.." && pwd)
+run_binary=${1:?usage: check_docs.sh /path/to/plurality_run}
+experiments_doc="$repo_root/docs/EXPERIMENTS.md"
+
+failures=0
+
+# -- 1. every registered scenario is documented ------------------------------
+if [[ ! -f "$experiments_doc" ]]; then
+    echo "check_docs: missing $experiments_doc" >&2
+    exit 1
+fi
+while read -r scenario _; do
+    [[ -z "$scenario" ]] && continue
+    if ! grep -qF "$scenario" "$experiments_doc"; then
+        echo "check_docs: scenario '$scenario' is registered but missing from docs/EXPERIMENTS.md" >&2
+        failures=1
+    fi
+done < <("$run_binary" --list)
+
+# -- 2. relative markdown links resolve --------------------------------------
+for doc in "$repo_root/README.md" "$repo_root"/docs/*.md; do
+    [[ -f "$doc" ]] || continue
+    doc_dir=$(dirname -- "$doc")
+    # Extract the (target) part of [text](target) links, one per line.
+    while read -r target; do
+        [[ -z "$target" ]] && continue
+        case "$target" in
+            http://*|https://*|mailto:*|\#*) continue ;;  # external / in-page
+        esac
+        local_path=${target%%#*}  # strip an anchor suffix
+        [[ -z "$local_path" ]] && continue
+        if [[ ! -e "$doc_dir/$local_path" && ! -e "$repo_root/$local_path" ]]; then
+            echo "check_docs: broken link '$target' in ${doc#"$repo_root"/}" >&2
+            failures=1
+        fi
+    done < <(awk '/^```/ { fenced = !fenced; next } !fenced' "$doc" \
+                 | grep -oE '\[[^][]+\]\([^()]+\)' | sed -E 's/.*\(([^()]+)\)$/\1/')
+done
+
+if [[ "$failures" -ne 0 ]]; then
+    echo "check_docs: FAILED" >&2
+    exit 1
+fi
+echo "check_docs: OK (scenario table and markdown links are in sync)"

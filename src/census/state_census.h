@@ -1,16 +1,32 @@
-// Measuring how many distinct states a protocol actually uses.
+// State-space accounting: which states a protocol uses, and how many agents
+// occupy each.
 //
-// The paper's central quantitative trade-off is state complexity:
-// Ω(k²) states for always-correct plurality [29] versus O(k + log n) /
-// O(k·log log n + log n) for the w.h.p. protocols (Theorems 1 and 2).
-// Experiment E2 verifies those bounds empirically: each agent's live
-// variables are packed into a canonical 64-bit code (exactly the role-split
-// accounting of §3.4 / Figure 1 — a role only contributes the variables it
-// actually keeps track of), and this module counts the distinct codes seen
-// over a whole run.
+// Two measurement views live here:
+//
+//  * `state_census` — the *distinct-states* view behind experiment E2.  The
+//    paper's central quantitative trade-off is state complexity: Ω(k²)
+//    states for always-correct plurality [29] versus O(k + log n) /
+//    O(k·log log n + log n) for the w.h.p. protocols (Theorems 1 and 2).
+//    Each agent's live variables are packed into a canonical 64-bit code
+//    (exactly the role-split accounting of §3.4 / Figure 1 — a role only
+//    contributes the variables it actually keeps track of), and this class
+//    counts the distinct codes seen over a whole run.
+//
+//  * `counted_census` — the *occupancy* view: a code -> count multiset with
+//    increment/decrement and an exact running total.  This is the census the
+//    census-space simulation backend (sim/census_simulator.h) reasons in;
+//    the standalone class exists so tests and measurements can replay and
+//    cross-check a backend's bookkeeping against an independent
+//    implementation, and so experiments can census-profile an agent-based
+//    run without one.
+//
+// Codes are built with `state_packer` (mixed-radix, collision-free by
+// construction) and can be taken apart again with `state_unpacker`.
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
+#include <unordered_map>
 #include <unordered_set>
 
 namespace plurality::census {
@@ -29,6 +45,53 @@ private:
     std::unordered_set<std::uint64_t> seen_;
 };
 
+/// A counting census: how many agents currently hold each canonical state.
+///
+/// Increment/decrement maintain two invariants callers can rely on (and
+/// tests/test_state_census.cpp verifies):
+///
+///  * the total is always the exact sum of all per-state counts (population
+///    conservation — moving an agent between states via decrement+increment
+///    never changes it), and
+///  * a state's count can never go below zero: decrementing an unoccupied
+///    state throws std::underflow_error instead of corrupting the census.
+class counted_census {
+public:
+    void increment(std::uint64_t canonical_state, std::uint64_t by = 1) {
+        counts_[canonical_state] += by;
+        total_ += by;
+    }
+
+    void decrement(std::uint64_t canonical_state, std::uint64_t by = 1) {
+        const auto it = counts_.find(canonical_state);
+        if (it == counts_.end() || it->second < by)
+            throw std::underflow_error("counted_census: decrement below zero");
+        it->second -= by;
+        total_ -= by;
+        if (it->second == 0) counts_.erase(it);
+    }
+
+    [[nodiscard]] std::uint64_t count_of(std::uint64_t canonical_state) const noexcept {
+        const auto it = counts_.find(canonical_state);
+        return it == counts_.end() ? 0 : it->second;
+    }
+
+    /// Number of *occupied* states (zero-count states are dropped).
+    [[nodiscard]] std::size_t distinct() const noexcept { return counts_.size(); }
+
+    /// Σ of all per-state counts.
+    [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+    void clear() noexcept {
+        counts_.clear();
+        total_ = 0;
+    }
+
+private:
+    std::unordered_map<std::uint64_t, std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
 /// Helper for building canonical codes: appends `value` (< `cardinality`)
 /// into the running mixed-radix code.  Keeping every field's cardinality
 /// explicit makes the packing collision-free by construction.
@@ -45,6 +108,28 @@ public:
 
 private:
     std::uint64_t code_ = 0;
+};
+
+/// Inverse of `state_packer`: peels fields off a code.  Mixed-radix packing
+/// is last-in-first-out, so fields come back in *reverse* packing order,
+/// each with the same cardinality it was packed with.
+class state_unpacker {
+public:
+    explicit state_unpacker(std::uint64_t code) noexcept : code_(code) {}
+
+    [[nodiscard]] std::uint64_t field(std::uint64_t cardinality) noexcept {
+        const std::uint64_t value = code_ % cardinality;
+        code_ /= cardinality;
+        return value;
+    }
+
+    [[nodiscard]] bool flag() noexcept { return field(2) != 0; }
+
+    /// Whatever has not been peeled off yet (0 once all fields are out).
+    [[nodiscard]] std::uint64_t remainder() const noexcept { return code_; }
+
+private:
+    std::uint64_t code_;
 };
 
 }  // namespace plurality::census

@@ -34,6 +34,14 @@ struct epidemic_protocol {
     }
 };
 
+/// Census codec (sim/census_simulator.h): informed bit plus payload.
+struct epidemic_census_codec {
+    using key_t = std::uint64_t;
+    [[nodiscard]] static key_t encode(const epidemic_agent& agent) noexcept {
+        return (static_cast<key_t>(agent.informed ? 1 : 0) << 32) | agent.payload;
+    }
+};
+
 /// Number of informed agents.
 [[nodiscard]] std::size_t informed_count(std::span<const epidemic_agent> agents) noexcept;
 

@@ -5,7 +5,7 @@
 // [23]) as a black box with the contract "unique leader w.h.p. within
 // O(log² n) parallel time, and the leader knows when the protocol is done".
 // We implement that contract with the repository's own clock machinery (see
-// DESIGN.md's substitution note):
+// docs/ARCHITECTURE.md's substitution notes):
 //
 //  * a leaderless phase clock partitions time into *rounds* (one clock
 //    revolution each, i.e. Θ(log n) parallel time),
@@ -63,6 +63,22 @@ private:
 
     std::uint32_t psi_;
     std::uint16_t total_rounds_;
+};
+
+/// Census codec (sim/census_simulator.h): every field of leader_agent,
+/// packed with explicit widths (32 + 16 + 8 + 4 flag bits = 60 bits).
+struct leader_census_codec {
+    using key_t = std::uint64_t;
+    [[nodiscard]] static key_t encode(const leader_agent& agent) noexcept {
+        key_t key = agent.count;
+        key = (key << 16) | agent.rounds_done;
+        key = (key << 8) | agent.round_tag;
+        key = (key << 1) | (agent.candidate ? 1 : 0);
+        key = (key << 1) | (agent.coin ? 1 : 0);
+        key = (key << 1) | (agent.saw_one ? 1 : 0);
+        key = (key << 1) | (agent.leader ? 1 : 0);
+        return key;
+    }
 };
 
 /// Default parameters for a population of size n.

@@ -2,7 +2,7 @@
 // inside the tournament's match phase.
 //
 // This substitutes for the black-box protocol of Doty, Eftekhari, Gąsieniec,
-// Severson, Uznański and Stachowiak (FOCS 2021, [20]); see DESIGN.md.  Each
+// Severson, Uznański and Stachowiak (FOCS 2021, [20]); see docs/ARCHITECTURE.md.  Each
 // participant starts with a signed amplitude: +A for opinion "A" (defender
 // side), -A for "B" (challenger side), 0 for undecided, where the
 // amplification A is at least 8x the number of participants.  Agents then
@@ -45,6 +45,17 @@ struct averaging_majority_protocol {
 
     void interact(agent_t& initiator, agent_t& responder, sim::rng&) const noexcept {
         loadbalance::average_pair(initiator.load, responder.load);
+    }
+};
+
+/// Census codec (sim/census_simulator.h): the signed load is the whole
+/// state (S here really is Θ(A) — the census backend's memory is O(S), so
+/// averaging runs census-space are bounded by load concentration, which
+/// keeps the occupied set small after the first O(log n) time).
+struct averaging_census_codec {
+    using key_t = std::uint64_t;
+    [[nodiscard]] static key_t encode(const averaging_agent& agent) noexcept {
+        return static_cast<key_t>(agent.load);
     }
 };
 

@@ -1,5 +1,5 @@
 // Cancellation/doubling exact majority — the state-economical member of the
-// [20]-style protocol family (see DESIGN.md's substitution note).
+// [20]-style protocol family (see docs/ARCHITECTURE.md's substitution notes).
 //
 // Each agent holds a sign in {+, −, 0} and a level i in [0, level_cap]; a
 // signed agent at level i represents a token of value sign · 2^(−i), so the
@@ -83,6 +83,14 @@ public:
 
 private:
     std::uint8_t level_cap_;
+};
+
+/// Census codec (sim/census_simulator.h): sign (offset to 0..2) and level.
+struct cancel_double_census_codec {
+    using key_t = std::uint64_t;
+    [[nodiscard]] static key_t encode(const cancel_double_agent& agent) noexcept {
+        return (static_cast<key_t>(agent.sign + 1) << 8) | agent.level;
+    }
 };
 
 /// Recommended level cap for n participants: ⌈log2 n⌉ + 2.

@@ -1,9 +1,14 @@
 // Scenario registration for the one-way epidemic broadcast (src/epidemic).
+// Predicates are templates over the simulation type (sim/population_view.h),
+// so the broadcast runs on both the agent and the census backend — its
+// census has at most three occupied states, which makes it the canonical
+// n = 10⁹ demonstration scenario.
 #include <algorithm>
 
 #include "epidemic/epidemic.h"
 #include "scenario/builtin.h"
 #include "scenario/registry.h"
+#include "sim/population_view.h"
 #include "util/math.h"
 
 namespace plurality::scenario {
@@ -12,28 +17,36 @@ namespace {
 
 struct epidemic_spec {
     using protocol_t = epidemic::epidemic_protocol;
+    using codec_t = epidemic::epidemic_census_codec;
+    using agent_t = epidemic::epidemic_agent;
 
     protocol_t make_protocol(const scenario_params&, sim::rng&) { return {}; }
-    std::vector<epidemic::epidemic_agent> make_population(const scenario_params& p, sim::rng&) {
-        std::vector<epidemic::epidemic_agent> agents(p.n);
+    std::vector<agent_t> make_population(const scenario_params& p, sim::rng&) {
+        std::vector<agent_t> agents(p.n);
         const std::uint32_t sources = std::clamp<std::uint32_t>(p.sources, 1, p.n);
         for (std::uint32_t i = 0; i < sources; ++i) agents[i] = {true, 1};
         return agents;
     }
-    bool converged(const sim::simulation<protocol_t>& s) const {
-        return epidemic::informed_count(s.agents()) == s.population_size();
+    std::vector<sim::census_entry<agent_t>> make_census(const scenario_params& p, sim::rng&) {
+        const std::uint32_t sources = std::clamp<std::uint32_t>(p.sources, 1, p.n);
+        return {{{true, 1}, sources}, {{false, 0}, p.n - sources}};
     }
-    bool correct(const sim::simulation<protocol_t>& s) const {
+    template <class Sim>
+    bool converged(const Sim& s) const {
+        return sim::view::all_of(s, [](const agent_t& a) { return a.informed; });
+    }
+    template <class Sim>
+    bool correct(const Sim& s) const {
         // The payload must spread with the bit: every agent carries value 1.
-        return std::all_of(s.agents().begin(), s.agents().end(),
-                           [](const epidemic::epidemic_agent& a) { return a.payload == 1; });
+        return sim::view::all_of(s, [](const agent_t& a) { return a.payload == 1; });
     }
     double time_budget(const scenario_params& p) const {
         return 64.0 * static_cast<double>(util::ceil_log2(p.n < 2 ? 2 : p.n) + 1);
     }
-    std::vector<metric> metrics(const sim::simulation<protocol_t>& s) const {
-        return {{"informed_fraction", static_cast<double>(epidemic::informed_count(s.agents())) /
-                                          static_cast<double>(s.population_size())}};
+    template <class Sim>
+    std::vector<metric> metrics(const Sim& s) const {
+        return {{"informed_fraction",
+                 sim::view::fraction(s, [](const agent_t& a) { return a.informed; })}};
     }
 };
 

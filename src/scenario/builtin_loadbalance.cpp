@@ -1,9 +1,13 @@
 // Scenario registration for floor/ceil averaging load balancing
 // (src/loadbalance): one hot spot holding n load units spreads to
-// discrepancy <= 2 within O(log n) parallel time w.h.p.
+// discrepancy <= 2 within O(log n) parallel time w.h.p.  Predicates are
+// templates over the simulation type (sim/population_view.h), so the
+// scenario runs on both the agent and the census backend; discrepancy is an
+// extrema query over occupied states, total load a weighted sum.
 #include "loadbalance/load_balancer.h"
 #include "scenario/builtin.h"
 #include "scenario/registry.h"
+#include "sim/population_view.h"
 
 namespace plurality::scenario {
 
@@ -11,25 +15,39 @@ namespace {
 
 struct loadbalance_spec {
     using protocol_t = loadbalance::load_balance_protocol;
+    using codec_t = loadbalance::loadbalance_census_codec;
+    using agent_t = loadbalance::load_agent;
 
     protocol_t make_protocol(const scenario_params&, sim::rng&) { return {}; }
-    std::vector<loadbalance::load_agent> make_population(const scenario_params& p, sim::rng&) {
-        std::vector<loadbalance::load_agent> agents(p.n);
+    std::vector<agent_t> make_population(const scenario_params& p, sim::rng&) {
+        std::vector<agent_t> agents(p.n);
         agents.front().load = static_cast<std::int64_t>(p.n);  // the hot spot
         return agents;
     }
-    bool converged(const sim::simulation<protocol_t>& s) const {
-        return loadbalance::discrepancy(s.agents()) <= 2;
+    std::vector<sim::census_entry<agent_t>> make_census(const scenario_params& p, sim::rng&) {
+        return {{{static_cast<std::int64_t>(p.n)}, 1}, {{0}, p.n - 1u}};
     }
-    bool correct(const sim::simulation<protocol_t>& s) const {
+    template <class Sim>
+    std::int64_t discrepancy(const Sim& s) const {
+        const auto range = sim::view::extrema(s, [](const agent_t& a) { return a.load; });
+        return range.has_value() ? range->second - range->first : 0;
+    }
+    template <class Sim>
+    bool converged(const Sim& s) const {
+        return discrepancy(s) <= 2;
+    }
+    template <class Sim>
+    bool correct(const Sim& s) const {
         // The total load is invariant; anything else is an engine bug.
-        return loadbalance::total_load(s.agents()) ==
+        return sim::view::weighted_sum(s, [](const agent_t& a) { return a.load; }) ==
                static_cast<std::int64_t>(s.population_size());
     }
     double time_budget(const scenario_params&) const { return 400.0; }
-    std::vector<metric> metrics(const sim::simulation<protocol_t>& s) const {
-        return {{"discrepancy", static_cast<double>(loadbalance::discrepancy(s.agents()))},
-                {"total_load", static_cast<double>(loadbalance::total_load(s.agents()))}};
+    template <class Sim>
+    std::vector<metric> metrics(const Sim& s) const {
+        const auto total = sim::view::weighted_sum(s, [](const agent_t& a) { return a.load; });
+        return {{"discrepancy", static_cast<double>(discrepancy(s))},
+                {"total_load", static_cast<double>(total)}};
     }
 };
 

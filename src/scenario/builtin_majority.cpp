@@ -4,6 +4,10 @@
 // minority side, plus = minus + bias on the majority side, and any parity
 // leftover becomes an undecided/blank agent (added to the majority side for
 // the 4-state protocol, which has no blank state).
+//
+// Predicates and metrics are member templates over the simulation type and
+// use the weighted-state helpers of sim/population_view.h, so every
+// scenario here runs on both the agent and the census backend.
 #include <algorithm>
 
 #include "majority/averaging_majority.h"
@@ -12,6 +16,7 @@
 #include "majority/three_state.h"
 #include "scenario/builtin.h"
 #include "scenario/registry.h"
+#include "sim/population_view.h"
 #include "sim/simulation.h"
 
 namespace plurality::scenario {
@@ -34,99 +39,168 @@ majority_split split_population(const scenario_params& p) {
 
 struct three_state_spec {
     using protocol_t = majority::three_state_protocol;
+    using codec_t = majority::three_state_census_codec;
+    using agent_t = majority::three_state_agent;
 
     protocol_t make_protocol(const scenario_params&, sim::rng&) { return {}; }
-    std::vector<majority::three_state_agent> make_population(const scenario_params& p,
-                                                             sim::rng&) {
+    std::vector<agent_t> make_population(const scenario_params& p, sim::rng&) {
         const auto s = split_population(p);
         return majority::make_three_state_population(s.plus, s.minus, s.blank);
     }
-    bool converged(const sim::simulation<protocol_t>& s) const {
-        return majority::consensus_reached(s.agents());
+    std::vector<sim::census_entry<agent_t>> make_census(const scenario_params& p, sim::rng&) {
+        using enum majority::binary_opinion;
+        const auto s = split_population(p);
+        return {{{alpha}, s.plus}, {{beta}, s.minus}, {{undecided}, s.blank}};
     }
-    bool correct(const sim::simulation<protocol_t>& s) const {
-        return majority::consensus_value(s.agents()) == majority::binary_opinion::alpha;
+    /// The common decided opinion, or `undecided` while mixed/undecided.
+    template <class Sim>
+    majority::binary_opinion consensus_value(const Sim& s) const {
+        const auto value = sim::view::unanimous(s, [](const agent_t& a) { return a.opinion; });
+        return value.value_or(majority::binary_opinion::undecided);
+    }
+    template <class Sim>
+    bool converged(const Sim& s) const {
+        return consensus_value(s) != majority::binary_opinion::undecided;
+    }
+    template <class Sim>
+    bool correct(const Sim& s) const {
+        return consensus_value(s) == majority::binary_opinion::alpha;
     }
     double time_budget(const scenario_params&) const { return 600.0; }
-    std::vector<metric> metrics(const sim::simulation<protocol_t>& s) const {
-        const double undecided =
-            sim::fraction_of(s.agents(), [](const majority::three_state_agent& a) {
-                return a.opinion == majority::binary_opinion::undecided;
-            });
-        return {{"consensus_value", static_cast<double>(majority::consensus_value(s.agents()))},
+    template <class Sim>
+    std::vector<metric> metrics(const Sim& s) const {
+        const double undecided = sim::view::fraction(s, [](const agent_t& a) {
+            return a.opinion == majority::binary_opinion::undecided;
+        });
+        return {{"consensus_value", static_cast<double>(consensus_value(s))},
                 {"undecided_fraction", undecided}};
     }
 };
 
 struct four_state_spec {
     using protocol_t = majority::stable_four_state_protocol;
+    using codec_t = majority::four_state_census_codec;
+    using agent_t = majority::four_state_agent;
 
     protocol_t make_protocol(const scenario_params&, sim::rng&) { return {}; }
-    std::vector<majority::four_state_agent> make_population(const scenario_params& p, sim::rng&) {
+    std::vector<agent_t> make_population(const scenario_params& p, sim::rng&) {
         const auto s = split_population(p);
         return majority::make_four_state_population(s.plus + s.blank, s.minus);
     }
-    bool converged(const sim::simulation<protocol_t>& s) const {
-        return majority::consensus_reached(s.agents());
+    std::vector<sim::census_entry<agent_t>> make_census(const scenario_params& p, sim::rng&) {
+        using enum majority::four_state;
+        const auto s = split_population(p);
+        return {{{strong_plus}, s.plus + s.blank}, {{strong_minus}, s.minus}};
     }
-    bool correct(const sim::simulation<protocol_t>& s) const {
-        return majority::consensus_sign(s.agents()) == 1;
+    /// The sign all agents output, or 0 while they disagree.
+    template <class Sim>
+    int consensus_sign(const Sim& s) const {
+        const auto sign =
+            sim::view::unanimous(s, [](const agent_t& a) { return majority::output_sign(a); });
+        return sign.has_value() ? *sign : 0;
+    }
+    template <class Sim>
+    bool converged(const Sim& s) const {
+        return consensus_sign(s) != 0;
+    }
+    template <class Sim>
+    bool correct(const Sim& s) const {
+        return consensus_sign(s) == 1;
     }
     double time_budget(const scenario_params& p) const {
         // Always correct but slow: the last cancellation costs Θ(n) expected
         // parallel time at bias 1, so the default budget scales with n.
         return 1.0e5 + 100.0 * static_cast<double>(p.n);
     }
-    std::vector<metric> metrics(const sim::simulation<protocol_t>& s) const {
-        return {{"consensus_sign", static_cast<double>(majority::consensus_sign(s.agents()))},
-                {"strong_token_difference",
-                 static_cast<double>(majority::strong_token_difference(s.agents()))}};
+    template <class Sim>
+    std::vector<metric> metrics(const Sim& s) const {
+        const auto strong_difference = sim::view::weighted_sum(s, [](const agent_t& a) {
+            if (a.state == majority::four_state::strong_plus) return 1;
+            if (a.state == majority::four_state::strong_minus) return -1;
+            return 0;
+        });
+        return {{"consensus_sign", static_cast<double>(consensus_sign(s))},
+                {"strong_token_difference", static_cast<double>(strong_difference)}};
     }
 };
 
 struct averaging_spec {
     using protocol_t = majority::averaging_majority_protocol;
+    using codec_t = majority::averaging_census_codec;
+    using agent_t = majority::averaging_agent;
 
     protocol_t make_protocol(const scenario_params&, sim::rng&) { return {}; }
-    std::vector<majority::averaging_agent> make_population(const scenario_params& p, sim::rng&) {
+    std::vector<agent_t> make_population(const scenario_params& p, sim::rng&) {
         const auto s = split_population(p);
         return majority::make_averaging_population(s.plus, s.minus, s.blank,
                                                    majority::default_amplification(p.n));
     }
-    bool converged(const sim::simulation<protocol_t>& s) const {
-        return majority::population_verdict(s.agents()) != majority::majority_verdict::undecided;
+    std::vector<sim::census_entry<agent_t>> make_census(const scenario_params& p, sim::rng&) {
+        const auto s = split_population(p);
+        const std::int64_t amplification = majority::default_amplification(p.n);
+        return {{{amplification}, s.plus}, {{-amplification}, s.minus}, {{0}, s.blank}};
     }
-    bool correct(const sim::simulation<protocol_t>& s) const {
-        return majority::population_verdict(s.agents()) == majority::majority_verdict::plus;
+    /// plus/minus/tie when all agents agree on that verdict, else undecided.
+    template <class Sim>
+    majority::majority_verdict verdict(const Sim& s) const {
+        const auto common =
+            sim::view::unanimous(s, [](const agent_t& a) { return majority::agent_verdict(a); });
+        return common.value_or(majority::majority_verdict::undecided);
+    }
+    template <class Sim>
+    bool converged(const Sim& s) const {
+        return verdict(s) != majority::majority_verdict::undecided;
+    }
+    template <class Sim>
+    bool correct(const Sim& s) const {
+        return verdict(s) == majority::majority_verdict::plus;
     }
     double time_budget(const scenario_params&) const { return 600.0; }
-    std::vector<metric> metrics(const sim::simulation<protocol_t>& s) const {
-        return {{"verdict", static_cast<double>(majority::population_verdict(s.agents()))}};
+    template <class Sim>
+    std::vector<metric> metrics(const Sim& s) const {
+        return {{"verdict", static_cast<double>(verdict(s))}};
     }
 };
 
 struct cancel_double_spec {
     using protocol_t = majority::cancel_double_protocol;
+    using codec_t = majority::cancel_double_census_codec;
+    using agent_t = majority::cancel_double_agent;
 
     protocol_t make_protocol(const scenario_params& p, sim::rng&) {
         return majority::cancel_double_protocol{majority::default_level_cap(p.n)};
     }
-    std::vector<majority::cancel_double_agent> make_population(const scenario_params& p,
-                                                               sim::rng&) {
+    std::vector<agent_t> make_population(const scenario_params& p, sim::rng&) {
         const auto s = split_population(p);
         return majority::make_cancel_double_population(s.plus, s.minus, s.blank);
     }
-    bool converged(const sim::simulation<protocol_t>& s) const {
-        return majority::decided_sign(s.agents()) != 0;
+    std::vector<sim::census_entry<agent_t>> make_census(const scenario_params& p, sim::rng&) {
+        const auto s = split_population(p);
+        return {{{+1, 0}, s.plus}, {{-1, 0}, s.minus}, {{0, 0}, s.blank}};
     }
-    bool correct(const sim::simulation<protocol_t>& s) const {
-        return majority::decided_sign(s.agents()) == 1;
+    /// The surviving sign once the opposing tokens are extinct (0 while both
+    /// signs coexist or no signed agent is left).
+    template <class Sim>
+    int decided_sign(const Sim& s) const {
+        const bool plus = sim::view::any_of(s, [](const agent_t& a) { return a.sign > 0; });
+        const bool minus = sim::view::any_of(s, [](const agent_t& a) { return a.sign < 0; });
+        if (plus == minus) return 0;
+        return plus ? 1 : -1;
+    }
+    template <class Sim>
+    bool converged(const Sim& s) const {
+        return decided_sign(s) != 0;
+    }
+    template <class Sim>
+    bool correct(const Sim& s) const {
+        return decided_sign(s) == 1;
     }
     double time_budget(const scenario_params&) const { return 3000.0; }
-    std::vector<metric> metrics(const sim::simulation<protocol_t>& s) const {
-        const double signed_fraction = sim::fraction_of(
-            s.agents(), [](const majority::cancel_double_agent& a) { return a.sign != 0; });
-        return {{"decided_sign", static_cast<double>(majority::decided_sign(s.agents()))},
+    template <class Sim>
+    std::vector<metric> metrics(const Sim& s) const {
+        const double signed_fraction =
+            sim::view::fraction(s, [](const agent_t& a) { return a.sign != 0; });
+        return {{"decided_sign", static_cast<double>(decided_sign(s))},
                 {"signed_fraction", signed_fraction}};
     }
 };

@@ -1,9 +1,18 @@
 // Scenario registrations for the paper's three tournament protocols
 // (src/core): ordered, unordered, and improved (junta-clock pruning).
+//
+// Predicates and metrics are member templates over the simulation type
+// (sim/population_view.h helpers), so the tournament protocols run on both
+// the agent and the census backend; the census state key is the full-state
+// encoding of core/census_encoding.h.
+#include <set>
+
+#include "core/census_encoding.h"
 #include "core/plurality_protocol.h"
 #include "core/result.h"
 #include "scenario/builtin.h"
 #include "scenario/registry.h"
+#include "sim/population_view.h"
 
 namespace plurality::scenario {
 
@@ -15,6 +24,8 @@ struct plurality_spec {
     workload::opinion_distribution dist{};
 
     using protocol_t = core::plurality_protocol;
+    using codec_t = core::core_census_codec;
+    using agent_t = core::core_agent;
 
     core::plurality_protocol make_protocol(const scenario_params& p, sim::rng& gen) {
         // The workload decides the effective n and k (e.g. "dominant" derives
@@ -24,23 +35,68 @@ struct plurality_spec {
         cfg = core::protocol_config::make(mode, dist.n(), dist.k());
         return core::plurality_protocol{cfg};
     }
-    std::vector<core::core_agent> make_population(const scenario_params&, sim::rng& gen) {
+    std::vector<agent_t> make_population(const scenario_params&, sim::rng& gen) {
         return core::plurality_protocol::make_population(cfg, dist, gen);
     }
-    bool converged(const sim::simulation<protocol_t>& s) const {
-        return core::all_winners(s.agents());
+    std::vector<sim::census_entry<agent_t>> make_census(const scenario_params&, sim::rng&) {
+        // Census image of make_population: every agent starts as a collector
+        // holding one token of its opinion, so the initial census has one
+        // slot per supported opinion.  (make_population additionally
+        // shuffles agent order; in census space there is no order.)
+        std::vector<sim::census_entry<agent_t>> entries;
+        for (std::uint32_t opinion = 1; opinion <= dist.k(); ++opinion) {
+            const std::uint32_t support = dist.support_of(opinion);
+            if (support == 0) continue;
+            agent_t a;
+            a.opinion = opinion;
+            a.tokens = 1;
+            a.role = core::agent_role::collector;
+            a.stage = core::lifecycle_stage::init;
+            if (cfg.mode == core::algorithm_mode::improved) {
+                a.prune_phase = -static_cast<std::int16_t>(cfg.prune_hours);
+            }
+            entries.push_back({a, support});
+        }
+        return entries;
     }
-    bool correct(const sim::simulation<protocol_t>& s) const {
-        return core::consensus_opinion(s.agents()) == dist.plurality_opinion();
+    template <class Sim>
+    bool converged(const Sim& s) const {
+        return sim::view::all_of(s, [](const agent_t& a) { return a.winner; });
+    }
+    /// The opinion every (winner) agent agrees on; 0 before convergence or
+    /// on disagreement — the view-based mirror of core::consensus_opinion.
+    template <class Sim>
+    std::uint32_t winner_opinion(const Sim& s) const {
+        const auto common = sim::view::unanimous(s, [](const agent_t& a) {
+            // Non-winners map to opinion 0, which can never be a consensus
+            // opinion, so any non-winner blocks unanimity just as in the
+            // span-based helper.
+            return a.winner ? a.opinion : 0u;
+        });
+        return common.value_or(0u);
+    }
+    template <class Sim>
+    bool correct(const Sim& s) const {
+        return winner_opinion(s) == dist.plurality_opinion();
     }
     double time_budget(const scenario_params&) const { return cfg.default_time_budget(); }
-    std::vector<metric> metrics(const sim::simulation<protocol_t>& s) const {
-        const auto roles = core::role_counts(s.agents());
-        return {{"winner_opinion", static_cast<double>(core::consensus_opinion(s.agents()))},
-                {"surviving_opinions",
-                 static_cast<double>(core::surviving_opinions(s.agents()).size())},
-                {"collectors", static_cast<double>(roles[0])},
-                {"clocks", static_cast<double>(roles[1])}};
+    template <class Sim>
+    std::vector<metric> metrics(const Sim& s) const {
+        std::set<std::uint32_t> surviving;
+        s.visit_states([&surviving](const agent_t& a, std::uint64_t) {
+            if (a.role == core::agent_role::collector && a.tokens > 0 && a.opinion != 0) {
+                surviving.insert(a.opinion);
+            }
+            return true;
+        });
+        const auto collectors = sim::view::count_if(
+            s, [](const agent_t& a) { return a.role == core::agent_role::collector; });
+        const auto clocks = sim::view::count_if(
+            s, [](const agent_t& a) { return a.role == core::agent_role::clock; });
+        return {{"winner_opinion", static_cast<double>(winner_opinion(s))},
+                {"surviving_opinions", static_cast<double>(surviving.size())},
+                {"collectors", static_cast<double>(collectors)},
+                {"clocks", static_cast<double>(clocks)}};
     }
 };
 

@@ -32,7 +32,8 @@ void write_metrics(util::json_writer& w, const char* key, const std::vector<metr
 }  // namespace
 
 void write_json_report(std::ostream& os, const any_scenario& s, const scenario_params& params,
-                       std::uint64_t base_seed, const scenario_run_result& result) {
+                       std::uint64_t base_seed, const scenario_run_result& result,
+                       backend_kind backend) {
     util::json_writer w(os);
     w.begin_object();
     w.key("schema").value(json_report_schema);
@@ -41,6 +42,7 @@ void write_json_report(std::ostream& os, const any_scenario& s, const scenario_p
     w.key("description").value(s.description());
     write_params(w, params);
     w.key("base_seed").value(base_seed);
+    w.key("backend").value(backend_name(backend));
 
     w.key("trials").begin_array();
     for (std::size_t i = 0; i < result.outcomes.size(); ++i) {

@@ -7,6 +7,7 @@
 //   "family": "plurality",
 //   "params": { "n": ..., "k": ..., "workload": "...", ... },
 //   "base_seed": 42,
+//   "backend": "agent" | "census",
 //   "trials": [
 //     { "trial": 0, "seed": ..., "converged": true, "correct": true,
 //       "parallel_time": ..., "interactions": ..., "metrics": { ... } },
@@ -21,8 +22,11 @@
 // }
 //
 // Deliberately excluded: thread count, wall-clock time, hostnames — the
-// document is a function of (scenario, params, trials, base_seed) only, so
-// equal seeds produce byte-identical files at any --threads.
+// document is a function of (scenario, params, trials, base_seed, backend)
+// only, so equal seeds produce byte-identical files at any --threads.  The
+// backend IS recorded: it changes the random streams (and therefore the
+// per-trial numbers), so two documents that differ only in backend must not
+// look interchangeable.
 #pragma once
 
 #include <cstdint>
@@ -37,6 +41,7 @@ inline constexpr const char* json_report_schema = "plurality_run/1";
 
 /// Writes the full result document for one CLI invocation.
 void write_json_report(std::ostream& os, const any_scenario& s, const scenario_params& params,
-                       std::uint64_t base_seed, const scenario_run_result& result);
+                       std::uint64_t base_seed, const scenario_run_result& result,
+                       backend_kind backend = backend_kind::agent);
 
 }  // namespace plurality::scenario

@@ -33,10 +33,12 @@ scenario_run_summary summarize_outcomes(const std::vector<scenario_outcome>& out
 
 scenario_run_result run_scenario_trials(const any_scenario& s, const scenario_params& params,
                                         std::size_t trials, std::uint64_t base_seed,
-                                        const sim::trial_executor& executor) {
+                                        const sim::trial_executor& executor,
+                                        backend_kind backend) {
     scenario_run_result result;
-    result.outcomes = executor.map(
-        trials, base_seed, [&s, &params](std::uint64_t seed) { return s.run(params, seed); });
+    result.outcomes = executor.map(trials, base_seed, [&s, &params, backend](std::uint64_t seed) {
+        return s.run(params, seed, backend);
+    });
     result.summary = summarize_outcomes(result.outcomes);
     return result;
 }

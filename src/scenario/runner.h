@@ -43,10 +43,13 @@ struct scenario_run_result {
     const std::vector<scenario_outcome>& outcomes);
 
 /// Runs `trials` independent executions of `s` under `params`, fanned out
-/// over `executor`.
-[[nodiscard]] scenario_run_result run_scenario_trials(const any_scenario& s,
-                                                      const scenario_params& params,
-                                                      std::size_t trials, std::uint64_t base_seed,
-                                                      const sim::trial_executor& executor);
+/// over `executor`, on the chosen simulation backend (agent by default; see
+/// scenario.h's backend_kind).  The determinism contract extends naturally:
+/// the summary is a pure function of (scenario, params, trials, base_seed,
+/// backend).
+[[nodiscard]] scenario_run_result run_scenario_trials(
+    const any_scenario& s, const scenario_params& params, std::size_t trials,
+    std::uint64_t base_seed, const sim::trial_executor& executor,
+    backend_kind backend = backend_kind::agent);
 
 }  // namespace plurality::scenario

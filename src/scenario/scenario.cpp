@@ -6,6 +6,16 @@
 
 namespace plurality::scenario {
 
+const char* backend_name(backend_kind backend) noexcept {
+    return backend == backend_kind::census ? "census" : "agent";
+}
+
+std::optional<backend_kind> parse_backend(std::string_view name) noexcept {
+    if (name == "agent") return backend_kind::agent;
+    if (name == "census") return backend_kind::census;
+    return std::nullopt;
+}
+
 workload::opinion_distribution make_workload(const scenario_params& params, sim::rng& gen) {
     if (params.workload == "bias1")
         return workload::make_bias_one(params.n, params.k, params.bias);

@@ -5,17 +5,30 @@
 // be executable from the generic experiment CLI (apps/plurality_run) and the
 // multi-trial runner (scenario/runner.h):
 //
-//   * a protocol factory           (make_protocol),
-//   * an initial-population builder (make_population),
+//   * a protocol factory            (make_protocol),
+//   * an initial-population builder (make_population — agent backend),
+//   * an initial-census builder     (make_census — census backend),
+//   * a census codec                (codec_t, the injective state encoding),
 //   * a convergence predicate       (converged),
 //   * a correctness predicate       (correct),
 //   * a parallel-time budget        (time_budget),
 //   * named metric extractors       (metrics) — also reused as the time
 //     series of `--trace` recordings.
 //
+// Every scenario runs on either simulation backend (see docs/ARCHITECTURE.md):
+//
+//   * backend_kind::agent  — sim::simulation, one struct per agent, O(n)
+//     memory; the default.
+//   * backend_kind::census — sim::census_simulator, one counter per occupied
+//     state, O(S) memory; the large-n backend (n up to 10⁹).
+//
+// To serve both, the predicates and metric extractors are *templates* over
+// the simulation type, written against the shared weighted-state read API
+// (sim/population_view.h) instead of a raw agent span.
+//
 // The `scenario_spec` concept captures that shape for a concrete protocol
 // type; `any_scenario` type-erases it so registries, CLIs and tests can hold
-// heterogeneous scenarios in one container.  A registered family is ~30
+// heterogeneous scenarios in one container.  A registered family is ~40
 // lines (see scenario/builtin_*.cpp); everything else — seeding, the
 // convergence loop, tracing, trial fan-out, JSON reporting — is shared.
 #pragma once
@@ -24,18 +37,37 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
+#include "sim/census_simulator.h"
 #include "sim/convergence.h"
+#include "sim/population_view.h"
 #include "sim/rng.h"
 #include "sim/simulation.h"
 #include "trace/recorder.h"
 #include "workload/opinion_distribution.h"
 
 namespace plurality::scenario {
+
+/// Which simulation backend executes a trial.  Both are deterministic per
+/// seed, and both simulate the same Markov chain — outcome *distributions*
+/// agree — but their random streams differ, so a given seed's trajectory is
+/// backend-specific.
+enum class backend_kind : std::uint8_t {
+    agent,  ///< sim::simulation — per-agent vector, O(n) memory
+    census  ///< sim::census_simulator — state counters, O(S) memory
+};
+
+/// CLI/JSON name of a backend ("agent" / "census").
+[[nodiscard]] const char* backend_name(backend_kind backend) noexcept;
+
+/// Parses a backend name; nullopt on anything unknown.
+[[nodiscard]] std::optional<backend_kind> parse_backend(std::string_view name) noexcept;
 
 /// Parameter block shared by every scenario; each scenario reads the subset
 /// it understands and ignores the rest.  All fields have CLI flags.
@@ -88,26 +120,43 @@ struct scenario_outcome {
 
 /// The structured shape a concrete scenario implementation must have.
 /// Methods are non-const so a spec may cache per-run state (typically the
-/// workload instance built inside make_population, consulted by correct());
+/// workload instance built inside make_protocol, consulted by correct());
 /// every run operates on a fresh copy of the spec.
+///
+/// `converged`, `correct` and `metrics` must accept *both* simulation
+/// backends — in practice they are member templates over the simulation
+/// type, written with the sim::view helpers.  `make_population` feeds the
+/// agent backend; `make_census` feeds the census backend and must describe
+/// the same initial configuration as a census (it is what keeps census runs
+/// O(S): no per-agent vector is ever materialized).
 template <class S>
 concept scenario_spec =
     sim::protocol<typename S::protocol_t> && std::copy_constructible<S> &&
+    sim::census_codec<typename S::codec_t, typename S::protocol_t::agent_t> &&
     requires(S s, const scenario_params& p, sim::rng& gen,
-             const sim::simulation<typename S::protocol_t>& sim) {
+             const sim::simulation<typename S::protocol_t>& asim,
+             const sim::census_simulator<typename S::protocol_t, typename S::codec_t>& csim) {
         { s.make_protocol(p, gen) } -> std::same_as<typename S::protocol_t>;
         {
             s.make_population(p, gen)
         } -> std::same_as<std::vector<typename S::protocol_t::agent_t>>;
-        { s.converged(sim) } -> std::convertible_to<bool>;
-        { s.correct(sim) } -> std::convertible_to<bool>;
+        {
+            s.make_census(p, gen)
+        } -> std::same_as<std::vector<sim::census_entry<typename S::protocol_t::agent_t>>>;
+        { s.converged(asim) } -> std::convertible_to<bool>;
+        { s.correct(asim) } -> std::convertible_to<bool>;
+        { s.metrics(asim) } -> std::convertible_to<std::vector<metric>>;
+        { s.converged(csim) } -> std::convertible_to<bool>;
+        { s.correct(csim) } -> std::convertible_to<bool>;
+        { s.metrics(csim) } -> std::convertible_to<std::vector<metric>>;
         { s.time_budget(p) } -> std::convertible_to<double>;
-        { s.metrics(sim) } -> std::convertible_to<std::vector<metric>>;
     };
 
 /// Seed streams the scenario driver derives from a trial seed: one for setup
 /// randomness (workload sampling, population shuffling), one for the
-/// interaction schedule.
+/// interaction schedule.  Both backends use the same setup stream — a trial
+/// seed fixes one initial configuration regardless of backend — and each
+/// consumes the run stream its own way.
 inline constexpr std::uint64_t scenario_setup_stream = 0x5ce7a0ull;
 inline constexpr std::uint64_t scenario_run_stream = 0x5ce7a1ull;
 
@@ -126,17 +175,21 @@ public:
     [[nodiscard]] const std::string& family() const noexcept { return family_; }
     [[nodiscard]] const std::string& description() const noexcept { return description_; }
 
-    /// Runs one trial.  Fully deterministic in `seed`.
-    [[nodiscard]] scenario_outcome run(const scenario_params& params, std::uint64_t seed) const {
-        return model_->run(params, seed, 0.0, nullptr);
+    /// Runs one trial on the chosen backend.  Fully deterministic in
+    /// `(seed, backend)`.
+    [[nodiscard]] scenario_outcome run(const scenario_params& params, std::uint64_t seed,
+                                       backend_kind backend = backend_kind::agent) const {
+        return model_->run(params, seed, 0.0, nullptr, backend);
     }
 
     /// Runs one trial while sampling every metric each `cadence` parallel
     /// time units (first sample at time 0) and writes the series as CSV.
-    /// The trajectory and outcome are identical to `run` with the same seed.
+    /// The trajectory and outcome are identical to `run` with the same seed
+    /// and backend.
     [[nodiscard]] scenario_outcome run_traced(const scenario_params& params, std::uint64_t seed,
-                                              double cadence, std::ostream& csv) const {
-        return model_->run(params, seed, cadence, &csv);
+                                              double cadence, std::ostream& csv,
+                                              backend_kind backend = backend_kind::agent) const {
+        return model_->run(params, seed, cadence, &csv, backend);
     }
 
 private:
@@ -144,7 +197,8 @@ private:
         virtual ~iface() = default;
         [[nodiscard]] virtual scenario_outcome run(const scenario_params& params,
                                                    std::uint64_t seed, double cadence,
-                                                   std::ostream* csv) const = 0;
+                                                   std::ostream* csv,
+                                                   backend_kind backend) const = 0;
     };
 
     template <class S>
@@ -152,29 +206,44 @@ private:
         explicit model(S spec) : spec_(std::move(spec)) {}
 
         [[nodiscard]] scenario_outcome run(const scenario_params& params, std::uint64_t seed,
-                                           double cadence, std::ostream* csv) const override {
-            using sim_t = sim::simulation<typename S::protocol_t>;
+                                           double cadence, std::ostream* csv,
+                                           backend_kind backend) const override {
             if (params.n < 2)
                 throw std::invalid_argument("scenario requires a population of n >= 2");
             S spec = spec_;  // fresh per-run state
             sim::rng setup(sim::derive_seed(seed, scenario_setup_stream));
             auto protocol = spec.make_protocol(params, setup);
-            auto population = spec.make_population(params, setup);
-            sim_t sim{std::move(protocol), std::move(population),
-                      sim::derive_seed(seed, scenario_run_stream)};
+            const std::uint64_t run_seed = sim::derive_seed(seed, scenario_run_stream);
+            if (backend == backend_kind::census) {
+                sim::census_simulator<typename S::protocol_t, typename S::codec_t> sim{
+                    std::move(protocol), spec.make_census(params, setup), run_seed};
+                return drive(spec, params, sim, cadence, csv);
+            }
+            sim::simulation<typename S::protocol_t> sim{std::move(protocol),
+                                                        spec.make_population(params, setup),
+                                                        run_seed};
+            return drive(spec, params, sim, cadence, csv);
+        }
 
-            const double budget =
-                params.time_budget > 0.0 ? params.time_budget : spec.time_budget(params);
+        /// The backend-agnostic part of a trial: budget derivation, the
+        /// convergence loop, optional tracing, and outcome packaging.
+        template <class SimT>
+        [[nodiscard]] static scenario_outcome drive(S& spec, const scenario_params& params,
+                                                    SimT& sim, double cadence,
+                                                    std::ostream* csv) {
+            const double budget = params.time_budget > 0.0 ? params.time_budget
+                                                           : spec.time_budget(params);
             const auto max_interactions =
                 sim::interaction_budget(budget, sim.population_size());
-            const auto done = [&spec](const sim_t& s) { return spec.converged(s); };
+            const auto done = [&spec](const SimT& s) { return spec.converged(s); };
 
             sim::convergence_outcome conv;
             if (csv != nullptr) {
-                trace::recorder<sim_t> rec(cadence > 0.0 ? cadence : 1.0);
+                trace::recorder<SimT> rec(cadence > 0.0 ? cadence : 1.0);
                 // All series share one metrics evaluation per sample point
                 // (keyed by the interaction count, which is unique per
-                // sample) instead of re-scanning the agents per column.
+                // sample) instead of re-scanning the configuration per
+                // column.
                 struct metric_cache {
                     std::uint64_t at = ~0ull;
                     std::vector<metric> values;
@@ -182,7 +251,7 @@ private:
                 auto cache = std::make_shared<metric_cache>();
                 const auto layout = spec.metrics(sim);
                 for (std::size_t i = 0; i < layout.size(); ++i) {
-                    rec.add_series(layout[i].name, [&spec, cache, i](const sim_t& s) {
+                    rec.add_series(layout[i].name, [&spec, cache, i](const SimT& s) {
                         if (cache->at != s.interactions()) {
                             cache->values = spec.metrics(s);
                             cache->at = s.interactions();
@@ -191,7 +260,7 @@ private:
                     });
                 }
                 conv = sim::converge(sim, done, max_interactions, 0,
-                                     [&rec](const sim_t& s) { rec.maybe_sample(s); });
+                                     [&rec](const SimT& s) { rec.maybe_sample(s); });
                 rec.write_csv(*csv);
             } else {
                 conv = sim::converge(sim, done, max_interactions);

@@ -11,6 +11,12 @@
 // invoked at every check point — including once at parallel time 0, before
 // the first interaction, which is what lets trace recorders anchor their
 // first sample at t = 0.
+//
+// `converge` is generic over the *backend*: anything satisfying
+// `steppable_simulation` — the agent-based `sim::simulation` and the
+// census-space `sim::census_simulator` both do — drives through the same
+// loop, which is what lets scenario predicates and trace observers work
+// unchanged when the backend is switched.
 #pragma once
 
 #include <algorithm>
@@ -28,16 +34,31 @@ struct convergence_outcome {
 };
 
 /// Interaction budget for `time_budget` units of parallel time over `n`
-/// agents (parallel time = interactions / n).
+/// agents (parallel time = interactions / n).  Saturates to
+/// `unlimited_interactions` when the product exceeds the 64-bit range
+/// (reachable at census-backend scales, e.g. an n-scaled budget at n = 10⁹)
+/// — casting such a double to uint64 would be undefined behavior.
 [[nodiscard]] constexpr std::uint64_t interaction_budget(double time_budget,
                                                          std::size_t n) noexcept {
-    return time_budget <= 0.0 ? 0
-                              : static_cast<std::uint64_t>(time_budget * static_cast<double>(n));
+    if (time_budget <= 0.0) return 0;
+    const double interactions = time_budget * static_cast<double>(n);
+    if (interactions >= 0x1.0p64) return unlimited_interactions;
+    return static_cast<std::uint64_t>(interactions);
 }
 
 /// Callable invoked at every predicate check point (tracing hook).
 template <class T, class Sim>
 concept convergence_observer = std::invocable<T&, const Sim&>;
+
+/// What a simulation backend must provide to be driven by `converge`: batch
+/// stepping plus the three progress accessors the loop and its callers read.
+template <class S>
+concept steppable_simulation = requires(S s, const S cs, std::uint64_t count) {
+    s.run_for(count);
+    { cs.interactions() } -> std::convertible_to<std::uint64_t>;
+    { cs.parallel_time() } -> std::convertible_to<double>;
+    { cs.population_size() } -> std::convertible_to<std::size_t>;
+};
 
 /// Runs `sim` until `done(sim)` holds or `max_interactions` total
 /// interactions have executed, checking every `check_every` interactions
@@ -46,9 +67,9 @@ concept convergence_observer = std::invocable<T&, const Sim&>;
 ///
 /// The trajectory is a pure function of the simulation's seed; `check_every`
 /// only affects how promptly the loop notices convergence.
-template <protocol P, std::predicate<const simulation<P>&> Done,
-          convergence_observer<simulation<P>> Observe>
-convergence_outcome converge(simulation<P>& sim, Done&& done, std::uint64_t max_interactions,
+template <steppable_simulation Sim, std::predicate<const Sim&> Done,
+          convergence_observer<Sim> Observe>
+convergence_outcome converge(Sim& sim, Done&& done, std::uint64_t max_interactions,
                              std::uint64_t check_every, Observe&& observe) {
     if (check_every == 0) check_every = sim.population_size();
     observe(sim);
@@ -68,11 +89,11 @@ convergence_outcome converge(simulation<P>& sim, Done&& done, std::uint64_t max_
 }
 
 /// Observer-free overload.
-template <protocol P, std::predicate<const simulation<P>&> Done>
-convergence_outcome converge(simulation<P>& sim, Done&& done, std::uint64_t max_interactions,
+template <steppable_simulation Sim, std::predicate<const Sim&> Done>
+convergence_outcome converge(Sim& sim, Done&& done, std::uint64_t max_interactions,
                              std::uint64_t check_every = 0) {
     return converge(sim, std::forward<Done>(done), max_interactions, check_every,
-                    [](const simulation<P>&) {});
+                    [](const Sim&) {});
 }
 
 }  // namespace plurality::sim

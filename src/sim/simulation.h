@@ -96,6 +96,18 @@ public:
     [[nodiscard]] std::span<agent_t> agents_mutable() noexcept { return agents_; }
     [[nodiscard]] std::size_t population_size() const noexcept { return agents_.size(); }
 
+    /// Visits every agent as a weight-1 state `(agent, 1)`; stops early when
+    /// `fn` returns false.  This is the read API shared with the census
+    /// backend (sim/census_simulator.h) — predicates written against it (via
+    /// the helpers of sim/population_view.h) run unchanged on either
+    /// backend.
+    template <class Fn>
+    void visit_states(Fn&& fn) const {
+        for (const auto& agent : agents_) {
+            if (!fn(agent, std::uint64_t{1})) return;
+        }
+    }
+
     [[nodiscard]] P& protocol_state() noexcept { return protocol_; }
     [[nodiscard]] const P& protocol_state() const noexcept { return protocol_; }
 

@@ -11,6 +11,11 @@
 // hold: per-trial seed derivation is index-based (not order-of-execution
 // based), and outcomes are collected into a slot-per-trial vector that is
 // aggregated sequentially in index order after all workers finish.
+//
+// Two entry points share that contract: `run` (trial_outcome batches, the
+// benchmark path) and the generic `map` (any default-constructible result
+// type — the primitive the scenario runner fans trials out through, on
+// either simulation backend).
 #pragma once
 
 #include <algorithm>

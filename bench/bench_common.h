@@ -18,7 +18,10 @@
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string_view>
 
 #include "core/plurality_protocol.h"
 #include "core/result.h"
@@ -26,6 +29,67 @@
 #include "workload/opinion_distribution.h"
 
 namespace plurality::bench {
+
+/// Build type this benchmark binary (and the plurality library, which is
+/// always built in the same configuration) was compiled as.  Recorded
+/// BENCH_*.json numbers are only meaningful at Release/-O3; see
+/// `guard_json_recording`.
+[[nodiscard]] constexpr const char* plurality_build_type() noexcept {
+#ifdef NDEBUG
+    return "release";
+#else
+    return "debug";
+#endif
+}
+
+/// True when this invocation records machine-readable output: any
+/// `--benchmark_out=...`, a JSON/CSV `--benchmark_format`, or the
+/// environment-variable forms of the same flags (google-benchmark defaults
+/// every flag from `BENCHMARK_<NAME>` before parsing argv).
+[[nodiscard]] inline bool recording_requested(int argc, char** argv) noexcept {
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (arg.rfind("--benchmark_out=", 0) == 0) return true;
+        if (arg.rfind("--benchmark_format=", 0) == 0 && arg != "--benchmark_format=console")
+            return true;
+    }
+    if (const char* out = std::getenv("BENCHMARK_OUT"); out != nullptr && *out != '\0')
+        return true;
+    if (const char* format = std::getenv("BENCHMARK_FORMAT");
+        format != nullptr && *format != '\0' && std::string_view{format} != "console")
+        return true;
+    return false;
+}
+
+/// Bench hygiene: recorded BENCH_*.json files must come from Release builds
+/// (BENCH_E14.json was once recorded against a debug library — useless for
+/// throughput tracking).  Refuses recording invocations of a debug binary
+/// unless `PLURALITY_BENCH_ALLOW_DEBUG_RECORDING` is set, and always tags
+/// the benchmark context with `plurality_build_type` so a recorded JSON
+/// carries its own provenance.  (The separate `library_build_type` context
+/// field describes the *google-benchmark* library build, which we cannot
+/// rebuild; scripts/run_benches.sh warns loudly when it reports "debug".)
+/// `recording` must be evaluated on the *original* argv, before
+/// benchmark::Initialize strips the --benchmark_* flags.  Returns false
+/// when the invocation must be refused.
+[[nodiscard]] inline bool guard_json_recording(bool recording) noexcept {
+    benchmark::AddCustomContext("plurality_build_type", plurality_build_type());
+    if (std::strcmp(plurality_build_type(), "release") == 0) return true;
+    if (!recording) return true;
+    if (std::getenv("PLURALITY_BENCH_ALLOW_DEBUG_RECORDING") != nullptr) {
+        std::fprintf(stderr,
+                     "bench: WARNING: recording from a DEBUG build "
+                     "(PLURALITY_BENCH_ALLOW_DEBUG_RECORDING is set); do NOT check "
+                     "the output in as a BENCH_*.json\n");
+        return true;
+    }
+    std::fprintf(stderr,
+                 "bench: refusing to record benchmark output from a DEBUG build.\n"
+                 "       Recorded BENCH_*.json numbers must come from Release (-O3); use\n"
+                 "       scripts/run_benches.sh, or set PLURALITY_BENCH_ALLOW_DEBUG_RECORDING=1\n"
+                 "       to override for throwaway local runs.\n");
+    return false;
+}
 
 /// Process-wide trial executor for benchmark batches.
 ///
@@ -133,3 +197,20 @@ inline void report(benchmark::State& state, const repeated_runs& runs) {
 }
 
 }  // namespace plurality::bench
+
+/// Drop-in replacement for BENCHMARK_MAIN() used by every experiment
+/// binary: identical, except that recording invocations pass through
+/// `guard_json_recording` (debug-build refusal + build-type context tag).
+#define PLURALITY_BENCH_MAIN()                                                 \
+    int main(int argc, char** argv) {                                          \
+        const bool plurality_bench_recording =                                 \
+            ::plurality::bench::recording_requested(argc, argv);               \
+        benchmark::Initialize(&argc, argv);                                    \
+        if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;      \
+        if (!::plurality::bench::guard_json_recording(plurality_bench_recording)) \
+            return 1;                                                          \
+        benchmark::RunSpecifiedBenchmarks();                                   \
+        benchmark::Shutdown();                                                 \
+        return 0;                                                              \
+    }                                                                          \
+    int main(int, char**)

@@ -103,4 +103,4 @@ BENCHMARK(BM_StableFourState_BiasOne)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+PLURALITY_BENCH_MAIN();

@@ -75,4 +75,4 @@ BENCHMARK(BM_Balance_TournamentShape)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+PLURALITY_BENCH_MAIN();

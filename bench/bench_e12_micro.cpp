@@ -95,4 +95,4 @@ BENCHMARK(BM_BroadcastTime)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+PLURALITY_BENCH_MAIN();

@@ -64,4 +64,4 @@ BENCHMARK(BM_LargeK_InitTime)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+PLURALITY_BENCH_MAIN();

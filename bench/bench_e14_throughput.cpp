@@ -149,4 +149,4 @@ BENCHMARK(BM_EndToEndThroughput)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+PLURALITY_BENCH_MAIN();

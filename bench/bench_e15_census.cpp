@@ -183,4 +183,4 @@ BENCHMARK(BM_BackendComparison)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+PLURALITY_BENCH_MAIN();

@@ -1,0 +1,255 @@
+// E16 — batched census backend: collision-free run sampling versus the
+// per-step census backend.
+//
+// The per-step census backend (E15) pays two Fenwick descents, a δ call and
+// four tree updates per interaction; the batch backend
+// (sim/batch_census_simulator.h) samples whole collision-free runs — Θ(√n)
+// interactions per unit of bookkeeping — and applies δ once per ordered
+// state-pair group when the protocol declares the pair deterministic.  Both
+// simulate the same Markov chain, so these rows are a pure throughput
+// comparison.
+//
+// Row families:
+//
+//  * BatchThroughput / CensusStepThroughput — the same fixed interaction
+//    budget on each backend, for the two canonical small-S protocols
+//    (epidemic broadcast, three-state majority) at n ∈ {10⁸, 10⁹}.  The
+//    acceptance bar for this experiment is batch ≥ 5× census on these rows.
+//
+//  * BatchSpeedup — both backends inside one row (same protocol, same n,
+//    same budget), reporting the ratio directly as a `speedup` counter so
+//    the recorded BENCH_E16.json carries the comparison without offline
+//    arithmetic.
+//
+//  * BatchConvergence — a full scenario-layer run to convergence on the
+//    batch backend (epidemic at n = 10⁸): the end-to-end path (registry →
+//    batch simulator → convergence layer) with the standard counters.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "epidemic/epidemic.h"
+#include "majority/three_state.h"
+#include "scenario/registry.h"
+#include "scenario/runner.h"
+#include "sim/batch_census_simulator.h"
+#include "sim/census_simulator.h"
+
+namespace {
+
+using namespace plurality;
+
+using epidemic_entries = std::vector<sim::census_entry<epidemic::epidemic_agent>>;
+using three_entries = std::vector<sim::census_entry<majority::three_state_agent>>;
+
+epidemic_entries epidemic_census(std::uint64_t n) {
+    return {{{true, 1}, 1}, {{false, 0}, n - 1}};
+}
+
+three_entries three_state_census(std::uint64_t n) {
+    const std::uint64_t bias = n / 4;  // deep w.h.p. regime
+    const std::uint64_t minus = (n - bias) / 2;
+    using enum majority::binary_opinion;
+    return {{{alpha}, n - minus}, {{beta}, minus}};
+}
+
+constexpr std::uint64_t throughput_budget = 4'000'000;
+
+/// Runs `Sim` for the fixed budget and reports interactions/sec plus the
+/// census-shape counters.
+template <class Sim, class Entries>
+void run_throughput(benchmark::State& state, const Entries& entries, std::uint64_t seed_base) {
+    std::uint64_t total_interactions = 0;
+    double total_seconds = 0.0;
+    std::size_t occupied = 0;
+    std::uint64_t iteration = 0;
+    for (auto _ : state) {
+        Sim sim{{}, entries, seed_base + iteration++};
+        const auto started = std::chrono::steady_clock::now();
+        sim.run_for(throughput_budget);
+        const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - started;
+        total_interactions += sim.interactions();
+        total_seconds += elapsed.count();
+        occupied = sim.occupied_states();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(total_interactions));
+    state.counters["interactions_per_sec"] =
+        total_seconds > 0.0 ? static_cast<double>(total_interactions) / total_seconds : 0.0;
+    state.counters["occupied_states"] = static_cast<double>(occupied);
+}
+
+template <bool three_state_rows>
+void BM_BatchThroughput(benchmark::State& state) {
+    const auto n = static_cast<std::uint64_t>(state.range(0));
+    state.counters["population"] = static_cast<double>(n);
+    if constexpr (three_state_rows) {
+        using sim_t = sim::batch_census_simulator<majority::three_state_protocol,
+                                                  majority::three_state_census_codec>;
+        run_throughput<sim_t>(state, three_state_census(n), 0xe16000 + n);
+        state.SetLabel("three-state/batch");
+    } else {
+        using sim_t =
+            sim::batch_census_simulator<epidemic::epidemic_protocol,
+                                        epidemic::epidemic_census_codec>;
+        run_throughput<sim_t>(state, epidemic_census(n), 0xe16000 + n);
+        state.SetLabel("epidemic/batch");
+    }
+}
+
+template <bool three_state_rows>
+void BM_CensusStepThroughput(benchmark::State& state) {
+    const auto n = static_cast<std::uint64_t>(state.range(0));
+    state.counters["population"] = static_cast<double>(n);
+    if constexpr (three_state_rows) {
+        using sim_t = sim::census_simulator<majority::three_state_protocol,
+                                            majority::three_state_census_codec>;
+        run_throughput<sim_t>(state, three_state_census(n), 0xe16000 + n);
+        state.SetLabel("three-state/census");
+    } else {
+        using sim_t =
+            sim::census_simulator<epidemic::epidemic_protocol, epidemic::epidemic_census_codec>;
+        run_throughput<sim_t>(state, epidemic_census(n), 0xe16000 + n);
+        state.SetLabel("epidemic/census");
+    }
+}
+
+BENCHMARK(BM_BatchThroughput<false>)
+    ->Name("BM_BatchThroughput/epidemic")
+    ->ArgNames({"n"})
+    ->Args({100'000'000})
+    ->Args({1'000'000'000})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BatchThroughput<true>)
+    ->Name("BM_BatchThroughput/three_state")
+    ->ArgNames({"n"})
+    ->Args({100'000'000})
+    ->Args({1'000'000'000})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CensusStepThroughput<false>)
+    ->Name("BM_CensusStepThroughput/epidemic")
+    ->ArgNames({"n"})
+    ->Args({100'000'000})
+    ->Args({1'000'000'000})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CensusStepThroughput<true>)
+    ->Name("BM_CensusStepThroughput/three_state")
+    ->ArgNames({"n"})
+    ->Args({100'000'000})
+    ->Args({1'000'000'000})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// Both backends inside one row; `speedup` = census wall / batch wall for
+/// the identical interaction budget.  This is the acceptance counter: it
+/// must stay >= 5 on both protocols at n >= 10⁸.
+template <bool three_state_rows>
+void BM_BatchSpeedup(benchmark::State& state) {
+    const auto n = static_cast<std::uint64_t>(state.range(0));
+    double census_seconds = 0.0;
+    double batch_seconds = 0.0;
+    std::uint64_t iteration = 0;
+    for (auto _ : state) {
+        const std::uint64_t seed = 0xe16500 + n + iteration++;
+        const auto timed = [](auto&& sim) {
+            const auto started = std::chrono::steady_clock::now();
+            sim.run_for(throughput_budget);
+            const std::chrono::duration<double> elapsed =
+                std::chrono::steady_clock::now() - started;
+            return elapsed.count();
+        };
+        if constexpr (three_state_rows) {
+            const auto entries = three_state_census(n);
+            census_seconds += timed(
+                sim::census_simulator<majority::three_state_protocol,
+                                      majority::three_state_census_codec>{{}, entries, seed});
+            batch_seconds += timed(
+                sim::batch_census_simulator<majority::three_state_protocol,
+                                            majority::three_state_census_codec>{{}, entries,
+                                                                                seed});
+        } else {
+            const auto entries = epidemic_census(n);
+            census_seconds += timed(
+                sim::census_simulator<epidemic::epidemic_protocol,
+                                      epidemic::epidemic_census_codec>{{}, entries, seed});
+            batch_seconds += timed(
+                sim::batch_census_simulator<epidemic::epidemic_protocol,
+                                            epidemic::epidemic_census_codec>{{}, entries, seed});
+        }
+    }
+    state.counters["population"] = static_cast<double>(n);
+    state.counters["speedup"] = batch_seconds > 0.0 ? census_seconds / batch_seconds : 0.0;
+    state.counters["census_interactions_per_sec"] =
+        census_seconds > 0.0
+            ? static_cast<double>(throughput_budget) * static_cast<double>(iteration) /
+                  census_seconds
+            : 0.0;
+    state.counters["batch_interactions_per_sec"] =
+        batch_seconds > 0.0
+            ? static_cast<double>(throughput_budget) * static_cast<double>(iteration) /
+                  batch_seconds
+            : 0.0;
+    state.SetLabel(three_state_rows ? "three-state" : "epidemic");
+}
+
+BENCHMARK(BM_BatchSpeedup<false>)
+    ->Name("BM_BatchSpeedup/epidemic")
+    ->ArgNames({"n"})
+    ->Args({100'000'000})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BatchSpeedup<true>)
+    ->Name("BM_BatchSpeedup/three_state")
+    ->ArgNames({"n"})
+    ->Args({100'000'000})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BatchConvergence(benchmark::State& state) {
+    const auto n = static_cast<std::uint32_t>(state.range(0));
+    const auto* s = scenario::scenario_registry::instance().find("epidemic/broadcast");
+    if (s == nullptr) {
+        state.SkipWithError("scenario not registered");
+        return;
+    }
+    scenario::scenario_params params;
+    params.n = n;
+
+    const std::size_t trials = bench::bench_trials(1);
+    std::uint64_t total_interactions = 0;
+    double total_seconds = 0.0;
+    std::size_t converged = 0;
+    double mean_time = 0.0;
+    for (auto _ : state) {
+        const auto started = std::chrono::steady_clock::now();
+        const auto result =
+            scenario::run_scenario_trials(*s, params, trials, 0xe16900 + n,
+                                          bench::shared_executor(), scenario::backend_kind::batch);
+        const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - started;
+        total_interactions += result.summary.total_interactions;
+        total_seconds += elapsed.count();
+        converged = result.summary.converged;
+        mean_time = result.summary.time_stats.mean;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(total_interactions));
+    state.counters["interactions_per_sec"] =
+        total_seconds > 0.0 ? static_cast<double>(total_interactions) / total_seconds : 0.0;
+    state.counters["trials"] = static_cast<double>(trials);
+    state.counters["converged"] = static_cast<double>(converged);
+    state.counters["parallel_time"] = mean_time;
+    state.SetLabel("epidemic/broadcast@batch");
+}
+BENCHMARK(BM_BatchConvergence)
+    ->ArgNames({"n"})
+    ->Args({100'000'000})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+PLURALITY_BENCH_MAIN();

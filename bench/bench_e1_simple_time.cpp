@@ -49,4 +49,4 @@ BENCHMARK(BM_SimpleTime_K)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+PLURALITY_BENCH_MAIN();

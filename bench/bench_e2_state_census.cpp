@@ -91,4 +91,4 @@ BENCHMARK(BM_Census_N)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+PLURALITY_BENCH_MAIN();

@@ -67,4 +67,4 @@ BENCHMARK(BM_OrderedReference)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+PLURALITY_BENCH_MAIN();

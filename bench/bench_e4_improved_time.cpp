@@ -71,4 +71,4 @@ BENCHMARK(BM_Improved_XmaxFraction)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+PLURALITY_BENCH_MAIN();

@@ -79,4 +79,4 @@ BENCHMARK(BM_Init)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+PLURALITY_BENCH_MAIN();

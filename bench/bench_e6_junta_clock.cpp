@@ -5,6 +5,8 @@
 // the engine behind the pruning phase.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.h"
+
 #include <cmath>
 #include <vector>
 
@@ -115,4 +117,4 @@ BENCHMARK(BM_JuntaClock)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+PLURALITY_BENCH_MAIN();

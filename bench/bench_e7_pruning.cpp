@@ -103,4 +103,4 @@ BENCHMARK(BM_Pruning_Xmax)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+PLURALITY_BENCH_MAIN();

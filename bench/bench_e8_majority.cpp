@@ -113,4 +113,4 @@ BENCHMARK(BM_CancelDouble)->Arg(1)->Arg(2)->Arg(3)->Iterations(1)->Unit(benchmar
 
 }  // namespace
 
-BENCHMARK_MAIN();
+PLURALITY_BENCH_MAIN();

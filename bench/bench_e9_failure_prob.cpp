@@ -86,4 +86,4 @@ BENCHMARK(BM_TokenCapAblation)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+PLURALITY_BENCH_MAIN();

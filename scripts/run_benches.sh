@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Reproducible BENCH_*.json recording.
+#
+# Builds the benchmarks in a dedicated Release tree (recorded numbers are
+# only meaningful at -O3; the bench binaries themselves refuse to record
+# from debug builds — see bench/bench_common.h) and writes one
+# BENCH_E<NN>.json per requested experiment into the repository root.
+#
+# Usage:
+#   scripts/run_benches.sh               # record every experiment (slow!)
+#   scripts/run_benches.sh e14 e16       # record a subset
+#   BENCH_FILTER='BM_BatchSpeedup' scripts/run_benches.sh e16   # row filter
+#
+# Environment:
+#   PLURALITY_BENCH_BUILD_DIR  build tree (default: build-bench)
+#   BENCH_FILTER               passed through as --benchmark_filter=...
+set -euo pipefail
+
+repo_root=$(cd -- "$(dirname -- "${BASH_SOURCE[0]}")/.." && pwd)
+build_dir=${PLURALITY_BENCH_BUILD_DIR:-"$repo_root/build-bench"}
+
+cmake -B "$build_dir" -S "$repo_root" \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DPLURALITY_BUILD_TESTS=OFF \
+    -DPLURALITY_BUILD_EXAMPLES=OFF \
+    -DPLURALITY_NATIVE_ARCH=OFF
+cmake --build "$build_dir" -j "$(nproc)"
+
+# Resolve the requested experiments ("e16") to bench binaries.
+requested=("$@")
+if [[ ${#requested[@]} -eq 0 ]]; then
+    mapfile -t binaries < <(find "$build_dir" -maxdepth 1 -name 'bench_e*' -type f | sort -V)
+else
+    binaries=()
+    for exp in "${requested[@]}"; do
+        match=$(find "$build_dir" -maxdepth 1 -name "bench_${exp}_*" -type f | head -n 1)
+        if [[ -z "$match" ]]; then
+            echo "run_benches: no benchmark binary matches '$exp'" >&2
+            exit 1
+        fi
+        binaries+=("$match")
+    done
+fi
+
+for bin in "${binaries[@]}"; do
+    name=$(basename "$bin")                      # bench_e16_batch
+    number=$(sed -E 's/^bench_e([0-9]+)_.*/\1/' <<<"$name")
+    out="$repo_root/BENCH_E${number}.json"
+    extra=()
+    [[ -n "${BENCH_FILTER:-}" ]] && extra+=("--benchmark_filter=${BENCH_FILTER}")
+    echo "run_benches: $name -> ${out#"$repo_root"/}"
+    "$bin" --benchmark_out="$out" --benchmark_out_format=json "${extra[@]}"
+    # The google-benchmark *library* build type is outside our control (it
+    # is whatever the system package shipped); tag loudly when it is a
+    # debug build so readers know the timing overhead caveat.
+    if grep -q '"library_build_type": "debug"' "$out"; then
+        echo "run_benches: WARNING: system google-benchmark library reports a DEBUG build;" >&2
+        echo "run_benches:          ${out#"$repo_root"/} timings carry library overhead" >&2
+        echo "run_benches:          (our binaries are Release; see plurality_build_type)" >&2
+    fi
+done
+echo "run_benches: done"

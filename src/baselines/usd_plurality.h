@@ -36,6 +36,12 @@ struct usd_plurality_protocol {
             responder.opinion = 0;
         }
     }
+
+    /// Batch-backend hook (sim/batch_census_simulator.h): δ never consults
+    /// the RNG, so every ordered state pair is deterministic.
+    [[nodiscard]] bool deterministic_delta(const agent_t&, const agent_t&) const noexcept {
+        return true;
+    }
 };
 
 /// Census codec (sim/census_simulator.h): the opinion is the whole state.

@@ -40,6 +40,15 @@ public:
     /// initiator, v the responder (paper §2).
     void interact(agent_t& initiator, agent_t& responder, sim::rng& gen);
 
+    /// Batch-backend hook (sim/batch_census_simulator.h): the tournament
+    /// machinery consults the RNG across its stages (role assignment,
+    /// election coins, challenger sampling), and which pairs are RNG-free
+    /// depends on mode and phase; conservatively declare every ordered pair
+    /// randomized — the batch backend's per-pair fallback remains exact.
+    [[nodiscard]] bool deterministic_delta(const agent_t&, const agent_t&) const noexcept {
+        return false;
+    }
+
     [[nodiscard]] const protocol_config& config() const noexcept { return cfg_; }
 
     /// Builds the initial configuration: every agent is a collector holding

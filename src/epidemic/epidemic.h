@@ -32,6 +32,13 @@ struct epidemic_protocol {
             responder.payload = initiator.payload;
         }
     }
+
+    /// Batch-backend hook (sim/batch_census_simulator.h): δ never consults
+    /// the RNG, so every ordered state pair is deterministic and grouped
+    /// interactions share one evaluation.
+    [[nodiscard]] bool deterministic_delta(const agent_t&, const agent_t&) const noexcept {
+        return true;
+    }
 };
 
 /// Census codec (sim/census_simulator.h): informed bit plus payload.

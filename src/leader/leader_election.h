@@ -55,6 +55,14 @@ public:
 
     void interact(agent_t& initiator, agent_t& responder, sim::rng& gen) const noexcept;
 
+    /// Batch-backend hook (sim/batch_census_simulator.h): the leaderless
+    /// clock tick consumes randomness on every interaction (and round
+    /// boundaries flip coins), so no ordered state pair is deterministic —
+    /// the batch backend falls back to per-pair δ, which is still exact.
+    [[nodiscard]] bool deterministic_delta(const agent_t&, const agent_t&) const noexcept {
+        return false;
+    }
+
     [[nodiscard]] std::uint16_t total_rounds() const noexcept { return total_rounds_; }
     [[nodiscard]] std::uint32_t psi() const noexcept { return psi_; }
 

@@ -46,6 +46,13 @@ struct averaging_majority_protocol {
     void interact(agent_t& initiator, agent_t& responder, sim::rng&) const noexcept {
         loadbalance::average_pair(initiator.load, responder.load);
     }
+
+    /// Batch-backend hook (sim/batch_census_simulator.h): floor/ceil
+    /// averaging never consults the RNG, so every ordered state pair is
+    /// deterministic.
+    [[nodiscard]] bool deterministic_delta(const agent_t&, const agent_t&) const noexcept {
+        return true;
+    }
 };
 
 /// Census codec (sim/census_simulator.h): the signed load is the whole

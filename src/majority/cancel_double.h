@@ -79,6 +79,13 @@ public:
         }
     }
 
+    /// Batch-backend hook (sim/batch_census_simulator.h): every rule is a
+    /// pure function of the two states (the RNG is never consulted), so
+    /// every ordered state pair is deterministic.
+    [[nodiscard]] bool deterministic_delta(const agent_t&, const agent_t&) const noexcept {
+        return true;
+    }
+
     [[nodiscard]] std::uint8_t level_cap() const noexcept { return level_cap_; }
 
 private:

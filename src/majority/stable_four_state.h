@@ -34,6 +34,12 @@ struct stable_four_state_protocol {
     using agent_t = four_state_agent;
 
     void interact(agent_t& initiator, agent_t& responder, sim::rng&) const noexcept;
+
+    /// Batch-backend hook (sim/batch_census_simulator.h): δ never consults
+    /// the RNG, so every ordered state pair is deterministic.
+    [[nodiscard]] bool deterministic_delta(const agent_t&, const agent_t&) const noexcept {
+        return true;
+    }
 };
 
 /// Census codec (sim/census_simulator.h): four states, one key each.

@@ -37,6 +37,12 @@ struct three_state_protocol {
             responder.opinion = undecided;
         }
     }
+
+    /// Batch-backend hook (sim/batch_census_simulator.h): δ never consults
+    /// the RNG, so every ordered state pair is deterministic.
+    [[nodiscard]] bool deterministic_delta(const agent_t&, const agent_t&) const noexcept {
+        return true;
+    }
 };
 
 /// Census codec (sim/census_simulator.h): three states, one key each.

@@ -7,12 +7,18 @@
 namespace plurality::scenario {
 
 const char* backend_name(backend_kind backend) noexcept {
-    return backend == backend_kind::census ? "census" : "agent";
+    switch (backend) {
+        case backend_kind::census: return "census";
+        case backend_kind::batch: return "batch";
+        case backend_kind::agent: break;
+    }
+    return "agent";
 }
 
 std::optional<backend_kind> parse_backend(std::string_view name) noexcept {
     if (name == "agent") return backend_kind::agent;
     if (name == "census") return backend_kind::census;
+    if (name == "batch") return backend_kind::batch;
     return std::nullopt;
 }
 

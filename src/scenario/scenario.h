@@ -15,12 +15,15 @@
 //   * named metric extractors       (metrics) — also reused as the time
 //     series of `--trace` recordings.
 //
-// Every scenario runs on either simulation backend (see docs/ARCHITECTURE.md):
+// Every scenario runs on any simulation backend (see docs/ARCHITECTURE.md):
 //
 //   * backend_kind::agent  — sim::simulation, one struct per agent, O(n)
 //     memory; the default.
 //   * backend_kind::census — sim::census_simulator, one counter per occupied
 //     state, O(S) memory; the large-n backend (n up to 10⁹).
+//   * backend_kind::batch  — sim::batch_census_simulator, census-space with
+//     collision-free run batching; the large-n *throughput* backend for
+//     small-S protocols.
 //
 // To serve both, the predicates and metric extractors are *templates* over
 // the simulation type, written against the shared weighted-state read API
@@ -44,6 +47,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/batch_census_simulator.h"
 #include "sim/census_simulator.h"
 #include "sim/convergence.h"
 #include "sim/population_view.h"
@@ -54,16 +58,17 @@
 
 namespace plurality::scenario {
 
-/// Which simulation backend executes a trial.  Both are deterministic per
-/// seed, and both simulate the same Markov chain — outcome *distributions*
+/// Which simulation backend executes a trial.  All are deterministic per
+/// seed, and all simulate the same Markov chain — outcome *distributions*
 /// agree — but their random streams differ, so a given seed's trajectory is
 /// backend-specific.
 enum class backend_kind : std::uint8_t {
-    agent,  ///< sim::simulation — per-agent vector, O(n) memory
-    census  ///< sim::census_simulator — state counters, O(S) memory
+    agent,   ///< sim::simulation — per-agent vector, O(n) memory
+    census,  ///< sim::census_simulator — state counters, O(S) memory
+    batch    ///< sim::batch_census_simulator — collision-free run batching
 };
 
-/// CLI/JSON name of a backend ("agent" / "census").
+/// CLI/JSON name of a backend ("agent" / "census" / "batch").
 [[nodiscard]] const char* backend_name(backend_kind backend) noexcept;
 
 /// Parses a backend name; nullopt on anything unknown.
@@ -135,7 +140,9 @@ concept scenario_spec =
     sim::census_codec<typename S::codec_t, typename S::protocol_t::agent_t> &&
     requires(S s, const scenario_params& p, sim::rng& gen,
              const sim::simulation<typename S::protocol_t>& asim,
-             const sim::census_simulator<typename S::protocol_t, typename S::codec_t>& csim) {
+             const sim::census_simulator<typename S::protocol_t, typename S::codec_t>& csim,
+             const sim::batch_census_simulator<typename S::protocol_t, typename S::codec_t>&
+                 bsim) {
         { s.make_protocol(p, gen) } -> std::same_as<typename S::protocol_t>;
         {
             s.make_population(p, gen)
@@ -149,6 +156,9 @@ concept scenario_spec =
         { s.converged(csim) } -> std::convertible_to<bool>;
         { s.correct(csim) } -> std::convertible_to<bool>;
         { s.metrics(csim) } -> std::convertible_to<std::vector<metric>>;
+        { s.converged(bsim) } -> std::convertible_to<bool>;
+        { s.correct(bsim) } -> std::convertible_to<bool>;
+        { s.metrics(bsim) } -> std::convertible_to<std::vector<metric>>;
         { s.time_budget(p) } -> std::convertible_to<double>;
     };
 
@@ -216,6 +226,13 @@ private:
             const std::uint64_t run_seed = sim::derive_seed(seed, scenario_run_stream);
             if (backend == backend_kind::census) {
                 sim::census_simulator<typename S::protocol_t, typename S::codec_t> sim{
+                    std::move(protocol), spec.make_census(params, setup), run_seed};
+                return drive(spec, params, sim, cadence, csv);
+            }
+            if (backend == backend_kind::batch) {
+                // The batch backend consumes the same census builders — no
+                // n-sized vector is ever materialized on this path either.
+                sim::batch_census_simulator<typename S::protocol_t, typename S::codec_t> sim{
                     std::move(protocol), spec.make_census(params, setup), run_seed};
                 return drive(spec, params, sim, cadence, csv);
             }

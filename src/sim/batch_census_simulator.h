@@ -1,0 +1,409 @@
+// Batched census-space simulation backend: many interactions per unit of
+// bookkeeping work, *exactly* the same sequential Markov chain.
+//
+// The per-step census backend (sim/census_simulator.h) pays two Fenwick
+// descents, a δ call and up to four tree updates for every single
+// interaction.  For small-S protocols almost all of that work is redundant:
+// under the uniform pairwise scheduler, long prefixes of the interaction
+// sequence touch pairwise-distinct agents (the birthday problem — the
+// expected prefix is Θ(√n)), and within such a *collision-free run* the
+// interactions commute, so they can be sampled and applied in bulk:
+//
+//   1. Sample the run length L — the maximal prefix of upcoming interactions
+//      whose 2L participants are all distinct (dist::sample_collision_free_run,
+//      one uniform inverted through the birthday survival function).
+//   2. Sample the multiset of ordered (initiator-state, responder-state)
+//      pairs for those L interactions directly in census space: a
+//      multivariate-hypergeometric draw of the 2L participants over the
+//      state counts, an MVH split into initiator/responder halves, and a
+//      sequentially-conditioned contingency table pairing the two halves (a
+//      uniform random bijection between the halves — exactly the scheduler's
+//      pairing, by exchangeability of without-replacement draws).
+//   3. Apply δ *per group*: when the protocol declares the ordered state
+//      pair's transition deterministic (see `declares_deterministic_delta`),
+//      one δ evaluation moves the whole group's mass; randomized pairs fall
+//      back to one δ call per interaction but still skip all per-interaction
+//      pair sampling.
+//   4. If the run ended in a collision (rather than the caller's budget),
+//      execute the single colliding interaction exactly: a uniform ordered
+//      pair of distinct agents conditioned on touching at least one run
+//      participant, whose state is its *post-run* state.
+//
+// Steps 1–4 repeat until the requested interaction count is reached; the
+// final run is truncated so `run_for` executes *exactly* the requested
+// number of interactions and `sim::converge`'s budget accounting stays
+// exact.  Cost per interaction is O(1) floating-point work amortized (the
+// survival product) plus O(S·√S̃/L)-ish batch overhead — for small S this is
+// far below one Fenwick descent, which is the entire point (bench_e16_batch
+// measures the ratio).
+//
+// Correctness sketch: the scheduler's interaction sequence is i.i.d. uniform
+// over ordered pairs of distinct agents.  Decompose it by the position of
+// the first collision: the prefix, conditioned on being collision-free, is a
+// uniform without-replacement draw of 2L distinct agents — and because no
+// agent appears twice, each interaction's inputs are the agents' pre-run
+// states, so the per-pair transitions commute and only the *multiset* of
+// ordered state pairs matters.  The colliding interaction is sampled from
+// its exact conditional distribution given the set of used agents.  Both
+// backends therefore simulate the same chain; convergence-time
+// distributions agree (tests/test_census_backend.cpp pins this at 5σ),
+// while per-seed trajectories are backend-specific, as with the other
+// backends.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sim/census_simulator.h"
+#include "sim/random_dist.h"
+#include "sim/rng.h"
+#include "sim/simulation.h"
+
+namespace plurality::sim {
+
+/// A protocol may declare, per ordered state pair, that δ is RNG-free and a
+/// pure function of the two states — the hook that unlocks grouped δ
+/// application.  Protocols without the hook are treated as fully randomized
+/// (correct, just slower).
+template <class P>
+concept declares_deterministic_delta =
+    requires(const P p, const typename P::agent_t& u, const typename P::agent_t& v) {
+        { p.deterministic_delta(u, v) } -> std::convertible_to<bool>;
+    };
+
+/// Drives one protocol instance over one population, census-space, stepping
+/// whole collision-free runs at a time.  Satisfies the same
+/// `steppable_simulation` / `visit_states` contracts as the other two
+/// backends, so `sim::converge`, `trace::recorder` and the sim::view
+/// helpers work unchanged.
+template <protocol P, census_codec<typename P::agent_t> Codec>
+class batch_census_simulator {
+public:
+    using agent_t = typename P::agent_t;
+    using key_t = typename Codec::key_t;
+    using entry_t = census_entry<agent_t>;
+
+    /// Takes ownership of the protocol instance and the initial census.
+    /// Requires a total population of at least two agents.
+    batch_census_simulator(P proto, const std::vector<entry_t>& initial, std::uint64_t seed)
+        : protocol_(std::move(proto)), gen_(seed) {
+        for (const auto& entry : initial) population_ += entry.count;
+        if (population_ < 2)
+            throw std::invalid_argument("batch_census_simulator requires n >= 2");
+        index_.reserve(initial.size());
+        slots_.reserve(initial.size());
+        for (const auto& entry : initial) {
+            if (entry.count > 0) deposit(entry.state, entry.count);
+        }
+    }
+
+    /// Convenience: compresses a full agent vector into its census (small-n
+    /// tests comparing backends on identical configurations).
+    batch_census_simulator(P proto, const std::vector<agent_t>& agents, std::uint64_t seed)
+        : batch_census_simulator(std::move(proto), compress_to_census<Codec>(agents), seed) {}
+
+    /// Executes exactly one interaction (a batch truncated to length 1).
+    void step() { run_for(1); }
+
+    /// Executes exactly `count` interactions, in collision-free batches; the
+    /// last batch is truncated to land on `count` precisely.
+    void run_for(std::uint64_t count) {
+        while (count > 0) count -= run_batch(count);
+    }
+
+    [[nodiscard]] std::uint64_t interactions() const noexcept { return interactions_; }
+    [[nodiscard]] double parallel_time() const noexcept {
+        return static_cast<double>(interactions_) / static_cast<double>(population_);
+    }
+    [[nodiscard]] std::size_t population_size() const noexcept {
+        return static_cast<std::size_t>(population_);
+    }
+
+    /// Visits every occupied state as `(state, count)` in state-discovery
+    /// order; stops early when `fn` returns false.  The read API shared with
+    /// the other backends.
+    template <class Fn>
+    void visit_states(Fn&& fn) const {
+        for (const auto& slot : slots_) {
+            if (slot.count > 0 && !fn(slot.state, slot.count)) return;
+        }
+    }
+
+    /// Number of currently occupied states.
+    [[nodiscard]] std::size_t occupied_states() const noexcept { return occupied_; }
+
+    /// Number of states seen at any point of the run.
+    [[nodiscard]] std::size_t reachable_states() const noexcept { return slots_.size(); }
+
+    /// Count of agents currently in the given state (0 if never reached).
+    [[nodiscard]] std::uint64_t count_of(const agent_t& state) const {
+        const auto it = index_.find(Codec::encode(state));
+        return it == index_.end() ? 0 : slots_[it->second].count;
+    }
+
+    /// Approximate heap footprint of the census bookkeeping.
+    [[nodiscard]] std::size_t memory_bytes() const noexcept {
+        return slots_.capacity() * sizeof(slot) +
+               (counts_.capacity() + participants_.capacity() + pcount_.capacity() +
+                pinit_.capacity() + row_.capacity()) *
+                   sizeof(std::uint64_t) +
+               (occupied_list_.capacity() + pslots_.capacity()) * sizeof(std::uint32_t) +
+               used_.capacity() * sizeof(group) +
+               (index_.size() + used_index_.size()) *
+                   (sizeof(key_t) + sizeof(std::uint32_t) + 2 * sizeof(void*));
+    }
+
+    [[nodiscard]] P& protocol_state() noexcept { return protocol_; }
+    [[nodiscard]] const P& protocol_state() const noexcept { return protocol_; }
+
+    /// Exposes the random stream (same contract as the other backends).
+    [[nodiscard]] rng& random() noexcept { return gen_; }
+
+private:
+    struct slot {
+        agent_t state;
+        key_t key{};
+        std::uint64_t count = 0;
+        bool listed = false;  ///< currently present in occupied_list_
+    };
+
+    /// One group of run participants sharing a post-interaction state.
+    struct group {
+        agent_t state;
+        std::uint64_t count = 0;
+    };
+
+    /// One batch: a collision-free run truncated at `budget`, plus the
+    /// colliding interaction when the run ended naturally.  Returns the
+    /// number of interactions executed (>= 1).
+    std::uint64_t run_batch(std::uint64_t budget) {
+        const auto run = dist::sample_collision_free_run(gen_, population_, budget);
+        const std::uint64_t pairs = run.length;
+
+        // Snapshot the occupied census slots: all group draws below are over
+        // the pre-run counts.  `occupied_list_` tracks occupied slots
+        // incrementally (slots going dormant are dropped lazily, in place,
+        // preserving discovery order), so a batch costs O(occupied), not
+        // O(reachable) — protocols that keep discovering fresh states
+        // (e.g. the tournament families) would otherwise degrade as dormant
+        // slots pile up.
+        counts_.clear();
+        std::size_t keep = 0;
+        for (std::size_t r = 0; r < occupied_list_.size(); ++r) {
+            const std::uint32_t i = occupied_list_[r];
+            if (slots_[i].count == 0) {
+                slots_[i].listed = false;
+                continue;
+            }
+            occupied_list_[keep++] = i;
+            counts_.push_back(slots_[i].count);
+        }
+        occupied_list_.resize(keep);
+
+        // The run's 2L participants, grouped by state (drawn without
+        // replacement), withdrawn from the census up front.  Compact the
+        // participant categories immediately: at most 2L of the S occupied
+        // states take part, and every stage below is quadratic-ish in the
+        // category count — compaction keeps large-S protocols from paying
+        // O(L·S) per batch.  (Zero-count categories consume no randomness in
+        // a hypergeometric draw, so compaction leaves the stream unchanged.)
+        participants_.assign(occupied_list_.size(), 0);
+        dist::multivariate_hypergeometric(gen_, counts_, 2 * pairs, participants_);
+        pslots_.clear();
+        pcount_.clear();
+        for (std::size_t j = 0; j < occupied_list_.size(); ++j) {
+            if (participants_[j] == 0) continue;
+            adjust(occupied_list_[j], -static_cast<std::int64_t>(participants_[j]));
+            pslots_.push_back(occupied_list_[j]);
+            pcount_.push_back(participants_[j]);
+        }
+
+        // Split into initiator halves (responder counts follow by
+        // subtraction): which participants landed in initiator slots.
+        pinit_.assign(pslots_.size(), 0);
+        dist::multivariate_hypergeometric(gen_, pcount_, pairs, pinit_);
+        for (std::size_t j = 0; j < pslots_.size(); ++j) {
+            pcount_[j] -= pinit_[j];  // now the responder counts
+        }
+
+        // Pair the halves: a uniform random bijection, sampled as a
+        // sequentially-conditioned contingency table, one row per initiator
+        // state; δ applies per cell.
+        used_.clear();
+        used_index_.clear();
+        for (std::size_t j = 0; j < pslots_.size(); ++j) {
+            if (pinit_[j] == 0) continue;
+            row_.assign(pslots_.size(), 0);
+            dist::multivariate_hypergeometric(gen_, pcount_, pinit_[j], row_);
+            for (std::size_t t = 0; t < pslots_.size(); ++t) {
+                if (row_[t] == 0) continue;
+                pcount_[t] -= row_[t];
+                apply_group(slots_[pslots_[j]].state, slots_[pslots_[t]].state, row_[t]);
+            }
+        }
+
+        if (run.collided) execute_collision(2 * pairs);
+
+        // Re-deposit every participant's post-state.
+        for (const auto& g : used_) {
+            if (g.count > 0) deposit(g.state, g.count);
+        }
+
+        const std::uint64_t executed = pairs + (run.collided ? 1 : 0);
+        interactions_ += executed;
+        return executed;
+    }
+
+    /// Applies δ to `count` interactions that all see the ordered state pair
+    /// (u, v): once for a declared-deterministic pair, per interaction
+    /// otherwise.
+    void apply_group(const agent_t& u_state, const agent_t& v_state, std::uint64_t count) {
+        if constexpr (declares_deterministic_delta<P>) {
+            if (protocol_.deterministic_delta(u_state, v_state)) {
+                agent_t u = u_state;
+                agent_t v = v_state;
+                protocol_.interact(u, v, gen_);
+                used_add(u, count);
+                used_add(v, count);
+                return;
+            }
+        }
+        for (std::uint64_t c = 0; c < count; ++c) {
+            agent_t u = u_state;
+            agent_t v = v_state;
+            protocol_.interact(u, v, gen_);
+            used_add(u, 1);
+            used_add(v, 1);
+        }
+    }
+
+    /// Executes the interaction that ended the run: a uniform ordered pair
+    /// of distinct agents conditioned on touching at least one of the `m2`
+    /// run participants (whose current states live in `used_`).
+    void execute_collision(std::uint64_t m2) {
+        const std::uint64_t fresh = population_ - m2;
+        const std::uint64_t both_used = m2 * (m2 - 1);
+        const std::uint64_t r = gen_.next_below(both_used + 2 * m2 * fresh);
+        agent_t u;
+        agent_t v;
+        if (r < both_used) {
+            const std::uint64_t i = r / (m2 - 1);
+            std::uint64_t j = r % (m2 - 1);
+            if (j >= i) ++j;  // distinct-ordered-pair decode
+            u = used_state_at(i);
+            v = used_state_at(j);
+            used_remove(u);
+            used_remove(v);
+        } else if (r < both_used + m2 * fresh) {
+            const std::uint64_t q = r - both_used;
+            u = used_state_at(q / fresh);
+            used_remove(u);
+            v = census_take_at(q % fresh);
+        } else {
+            const std::uint64_t q = r - both_used - m2 * fresh;
+            u = census_take_at(q % fresh);
+            v = used_state_at(q / fresh);
+            used_remove(v);
+        }
+        protocol_.interact(u, v, gen_);
+        used_add(u, 1);
+        used_add(v, 1);
+    }
+
+    /// State of the run participant with zero-based rank `rank` over the
+    /// `used_` groups (each unit of count is one agent).
+    [[nodiscard]] const agent_t& used_state_at(std::uint64_t rank) const noexcept {
+        std::uint64_t remaining = rank;
+        for (const auto& g : used_) {
+            if (remaining < g.count) return g.state;
+            remaining -= g.count;
+        }
+        return used_.back().state;  // unreachable for rank < Σ counts
+    }
+
+    void used_add(const agent_t& state, std::uint64_t count) {
+        const key_t key = Codec::encode(state);
+        const auto [it, inserted] =
+            used_index_.try_emplace(key, static_cast<std::uint32_t>(used_.size()));
+        if (inserted) {
+            used_.push_back({state, count});
+        } else {
+            used_[it->second].count += count;
+        }
+    }
+
+    void used_remove(const agent_t& state) {
+        --used_[used_index_.find(Codec::encode(state))->second].count;
+    }
+
+    /// Withdraws and returns the state of the *fresh* (non-participant)
+    /// agent with zero-based rank `rank` over the current census counts.
+    /// Only occupied-listed slots can hold fresh agents (withdrawn
+    /// participants merely zero some of them out).
+    [[nodiscard]] agent_t census_take_at(std::uint64_t rank) {
+        std::uint64_t remaining = rank;
+        std::uint32_t last = occupied_list_.back();
+        for (const std::uint32_t i : occupied_list_) {
+            if (slots_[i].count == 0) continue;
+            if (remaining < slots_[i].count) {
+                adjust(i, -1);
+                return slots_[i].state;
+            }
+            remaining -= slots_[i].count;
+            last = i;
+        }
+        adjust(last, -1);
+        return slots_[last].state;  // unreachable for rank < census total
+    }
+
+    /// Adds `count` agents in `state`, creating its slot on first sight.
+    void deposit(const agent_t& state, std::uint64_t count) {
+        const key_t key = Codec::encode(state);
+        const auto [it, inserted] =
+            index_.try_emplace(key, static_cast<std::uint32_t>(slots_.size()));
+        if (inserted) slots_.push_back({state, key, 0});
+        adjust(it->second, static_cast<std::int64_t>(count));
+    }
+
+    /// Applies a signed count delta to a slot, maintaining `occupied_` and
+    /// the occupied-slot list (append on occupancy; dormant slots leave the
+    /// list lazily at the next batch snapshot).
+    void adjust(std::size_t index, std::int64_t delta) {
+        auto& entry = slots_[index];
+        const bool was_occupied = entry.count > 0;
+        entry.count = static_cast<std::uint64_t>(static_cast<std::int64_t>(entry.count) + delta);
+        if (entry.count > 0 && !was_occupied) {
+            ++occupied_;
+            if (!entry.listed) {
+                entry.listed = true;
+                occupied_list_.push_back(static_cast<std::uint32_t>(index));
+            }
+        }
+        if (entry.count == 0 && was_occupied) --occupied_;
+    }
+
+    P protocol_;
+    rng gen_;
+    std::vector<slot> slots_;  ///< discovery-ordered; dormant slots keep their index
+    std::unordered_map<key_t, std::uint32_t, census_key_hash> index_;  ///< key -> slot
+    std::size_t occupied_ = 0;     ///< slots with count > 0
+    std::uint64_t population_ = 0; ///< invariant: Σ slot counts (+ in-flight batch)
+    std::uint64_t interactions_ = 0;
+
+    // Per-batch scratch, reused across batches to stay allocation-free on
+    // the hot path.
+    std::vector<std::uint32_t> occupied_list_; ///< occupied slots, discovery order, lazily compacted
+    std::vector<std::uint64_t> counts_;        ///< snapshot of their counts
+    std::vector<std::uint64_t> participants_;  ///< participants per active slot
+    std::vector<std::uint32_t> pslots_;        ///< slot indices with participants (compact)
+    std::vector<std::uint64_t> pcount_;        ///< participants, then responders, per pslot
+    std::vector<std::uint64_t> pinit_;         ///< participants in initiator position
+    std::vector<std::uint64_t> row_;           ///< one contingency-table row
+    std::vector<group> used_;                  ///< post-run states of participants
+    std::unordered_map<key_t, std::uint32_t, census_key_hash> used_index_;
+};
+
+}  // namespace plurality::sim

@@ -79,6 +79,23 @@ struct census_entry {
     std::uint64_t count = 0;
 };
 
+/// Compresses a full agent vector into its census under `Codec`, merging
+/// equal-key agents.  Shared by both census-space backends' agent-vector
+/// convenience constructors; large-n callers should build entries directly.
+template <class Codec, class Agent>
+    requires census_codec<Codec, Agent>
+[[nodiscard]] std::vector<census_entry<Agent>> compress_to_census(
+    const std::vector<Agent>& agents) {
+    std::vector<census_entry<Agent>> entries;
+    std::unordered_map<typename Codec::key_t, std::size_t, census_key_hash> seen;
+    for (const auto& agent : agents) {
+        const auto [it, inserted] = seen.try_emplace(Codec::encode(agent), entries.size());
+        if (inserted) entries.push_back({agent, 0});
+        ++entries[it->second].count;
+    }
+    return entries;
+}
+
 /// Drives one protocol instance over one population, census-space.
 ///
 /// API-compatible with `sim::simulation` where the two can be compatible:
@@ -103,6 +120,10 @@ public:
         if (population_ < 2)
             throw std::invalid_argument("census_simulator requires a population of n >= 2");
         grow_tree(64);
+        // The initial census bounds the states seen so far; reserving up
+        // front cuts rehash churn on the discovery path.
+        index_.reserve(initial.size());
+        slots_.reserve(initial.size());
         for (const auto& entry : initial) {
             if (entry.count > 0) deposit(entry.state, entry.count);
         }
@@ -112,7 +133,7 @@ public:
     /// in tests that compare the two backends on identical configurations;
     /// large-n callers should build census entries directly.
     census_simulator(P proto, const std::vector<agent_t>& agents, std::uint64_t seed)
-        : census_simulator(std::move(proto), compress(agents), seed) {}
+        : census_simulator(std::move(proto), compress_to_census<Codec>(agents), seed) {}
 
     /// Executes exactly one interaction: samples an ordered pair of distinct
     /// agents by state (initiator first, then responder among the remaining
@@ -161,11 +182,8 @@ public:
     }
 
     /// Number of currently occupied states (the S that memory scales with).
-    [[nodiscard]] std::size_t occupied_states() const noexcept {
-        std::size_t occupied = 0;
-        for (const auto& slot : slots_) occupied += slot.count > 0 ? 1 : 0;
-        return occupied;
-    }
+    /// Maintained incrementally — an O(1) read, not an O(S) scan.
+    [[nodiscard]] std::size_t occupied_states() const noexcept { return occupied_; }
 
     /// Number of states seen at any point of the run (dormant slots are kept
     /// so revisited states reuse their slot).
@@ -197,17 +215,6 @@ private:
         std::uint64_t count = 0;
     };
 
-    [[nodiscard]] static std::vector<entry_t> compress(const std::vector<agent_t>& agents) {
-        std::vector<entry_t> entries;
-        std::unordered_map<key_t, std::size_t, census_key_hash> seen;
-        for (const auto& agent : agents) {
-            const auto [it, inserted] = seen.try_emplace(Codec::encode(agent), entries.size());
-            if (inserted) entries.push_back({agent, 0});
-            ++entries[it->second].count;
-        }
-        return entries;
-    }
-
     /// Adds `count` agents in `state`, creating its slot on first sight.
     void deposit(const agent_t& state, std::uint64_t count) {
         deposit_keyed(state, Codec::encode(state), count);
@@ -220,6 +227,7 @@ private:
             if (slots_.size() == capacity_) grow_tree(capacity_ * 2);
             slots_.push_back({state, key, 0});
         }
+        if (slots_[it->second].count == 0 && count > 0) ++occupied_;
         slots_[it->second].count += count;
         tree_add(it->second, static_cast<std::int64_t>(count));
     }
@@ -230,6 +238,7 @@ private:
     void redeposit(const agent_t& state, std::size_t origin) {
         const key_t key = Codec::encode(state);
         if (key == slots_[origin].key) {
+            if (slots_[origin].count == 0) ++occupied_;
             ++slots_[origin].count;
             tree_add(origin, 1);
             return;
@@ -239,7 +248,7 @@ private:
 
     /// Removes one agent from slot `index` (which must be occupied).
     void withdraw(std::size_t index) {
-        --slots_[index].count;
+        if (--slots_[index].count == 0) --occupied_;
         tree_add(index, -1);
     }
 
@@ -278,6 +287,7 @@ private:
     std::vector<slot> slots_;  ///< discovery-ordered; dormant slots keep their index
     std::unordered_map<key_t, std::uint32_t, census_key_hash> index_;  ///< key -> slot
     std::vector<std::uint64_t> tree_;  ///< Fenwick tree over slot counts
+    std::size_t occupied_ = 0;         ///< slots with count > 0
     std::size_t capacity_ = 0;         ///< tree capacity (power of two)
     std::uint64_t population_ = 0;     ///< invariant: Σ slot counts
     std::uint64_t interactions_ = 0;

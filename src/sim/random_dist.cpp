@@ -1,0 +1,189 @@
+#include "sim/random_dist.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+
+namespace plurality::sim::dist {
+
+namespace {
+
+/// ln(n!) for n < table size, accumulated once at first use.  The summation
+/// order is fixed, so the table is bit-identical on every run.
+constexpr std::size_t log_factorial_table_size = 4096;
+
+const std::array<double, log_factorial_table_size>& log_factorial_table() noexcept {
+    static const auto table = [] {
+        std::array<double, log_factorial_table_size> t{};
+        t[0] = 0.0;
+        for (std::size_t n = 1; n < t.size(); ++n) {
+            t[n] = t[n - 1] + std::log(static_cast<double>(n));
+        }
+        return t;
+    }();
+    return table;
+}
+
+/// ln C(n, k); requires k <= n.
+double log_choose(std::uint64_t n, std::uint64_t k) noexcept {
+    return log_factorial(n) - log_factorial(k) - log_factorial(n - k);
+}
+
+}  // namespace
+
+double log_factorial(std::uint64_t n) noexcept {
+    if (n < log_factorial_table_size) return log_factorial_table()[n];
+    // Stirling's series; for n >= 4096 the truncation error is far below one
+    // ulp of the result.
+    const double x = static_cast<double>(n);
+    const double inv = 1.0 / x;
+    const double inv2 = inv * inv;
+    return x * std::log(x) - x + 0.5 * std::log(2.0 * 3.141592653589793238462643 * x) +
+           inv * (1.0 / 12.0 - inv2 * (1.0 / 360.0 - inv2 * (1.0 / 1260.0)));
+}
+
+std::uint64_t geometric(rng& gen, double p) noexcept {
+    if (p >= 1.0) return 0;
+    if (p <= 0.0) return std::numeric_limits<std::uint64_t>::max();  // precondition violated
+    const double u = gen.next_unit();
+    // Inversion: L = floor(ln(1-u) / ln(1-p)).  log1p keeps both logs exact
+    // near 0; u in [0,1) keeps the numerator finite.
+    const double value = std::floor(std::log1p(-u) / std::log1p(-p));
+    if (value >= 0x1.0p64) return std::numeric_limits<std::uint64_t>::max();
+    return static_cast<std::uint64_t>(value);
+}
+
+namespace {
+
+/// Shared exact-inversion core for unimodal integer pmfs on [lo, hi]: one
+/// uniform is inverted through the CDF enumerated outward from the mode
+/// (mode, mode-1, mode+1, mode-2, ...), with neighbouring pmf values derived
+/// by the distribution's ratio recurrences.  `RatioDown(k)` must return
+/// pmf(k-1)/pmf(k), `RatioUp(k)` pmf(k+1)/pmf(k).
+template <class RatioDown, class RatioUp>
+std::uint64_t invert_from_mode(rng& gen, std::uint64_t lo, std::uint64_t hi, std::uint64_t mode,
+                               double pmf_mode, RatioDown ratio_down,
+                               RatioUp ratio_up) noexcept {
+    const double u = gen.next_unit();
+    double acc = pmf_mode;
+    if (u < acc) return mode;
+    std::uint64_t left = mode;
+    std::uint64_t right = mode;
+    double left_pmf = pmf_mode;
+    double right_pmf = pmf_mode;
+    while (true) {
+        bool advanced = false;
+        if (left > lo) {
+            left_pmf *= ratio_down(left);
+            --left;
+            acc += left_pmf;
+            advanced = true;
+            if (u < acc) return left;
+        }
+        if (right < hi) {
+            right_pmf *= ratio_up(right);
+            ++right;
+            acc += right_pmf;
+            advanced = true;
+            if (u < acc) return right;
+        }
+        // Support exhausted with a floating-point residue (Σ pmf rounded a
+        // hair below u): any in-support value carries the leftover mass;
+        // return the last enumerated one.
+        if (!advanced) return right;
+    }
+}
+
+}  // namespace
+
+std::uint64_t binomial(rng& gen, std::uint64_t n, double p) noexcept {
+    if (n == 0 || p <= 0.0) return 0;
+    if (p >= 1.0) return n;
+    const double nd = static_cast<double>(n);
+    const double odds = p / (1.0 - p);
+    const double mode_d = std::floor((nd + 1.0) * p);
+    const auto mode = static_cast<std::uint64_t>(std::min(mode_d, nd));
+    const double md = static_cast<double>(mode);
+    const double log_pmf = log_choose(n, mode) + md * std::log(p) + (nd - md) * std::log1p(-p);
+    return invert_from_mode(
+        gen, 0, n, mode, std::exp(log_pmf),
+        [nd, odds](std::uint64_t k) {  // pmf(k-1)/pmf(k)
+            const double kd = static_cast<double>(k);
+            return kd / ((nd - kd + 1.0) * odds);
+        },
+        [nd, odds](std::uint64_t k) {  // pmf(k+1)/pmf(k)
+            const double kd = static_cast<double>(k);
+            return (nd - kd) * odds / (kd + 1.0);
+        });
+}
+
+std::uint64_t hypergeometric(rng& gen, std::uint64_t total, std::uint64_t successes,
+                             std::uint64_t draws) noexcept {
+    const std::uint64_t lo = draws + successes > total ? draws + successes - total : 0;
+    const std::uint64_t hi = std::min(draws, successes);
+    if (lo >= hi) return lo;
+    const double big_n = static_cast<double>(total);
+    const double big_k = static_cast<double>(successes);
+    const double nd = static_cast<double>(draws);
+    // Mode in doubles (the exact product overflows uint64 at census scales);
+    // an off-by-one mode only shifts where the enumeration starts.
+    const double mode_d = std::floor((nd + 1.0) * (big_k + 1.0) / (big_n + 2.0));
+    const auto mode = std::clamp(static_cast<std::uint64_t>(std::max(mode_d, 0.0)), lo, hi);
+    const double log_pmf = log_choose(successes, mode) +
+                           log_choose(total - successes, draws - mode) -
+                           log_choose(total, draws);
+    return invert_from_mode(
+        gen, lo, hi, mode, std::exp(log_pmf),
+        [big_n, big_k, nd](std::uint64_t k) {  // pmf(k-1)/pmf(k)
+            const double kd = static_cast<double>(k);
+            return kd * (big_n - big_k - nd + kd) / ((big_k - kd + 1.0) * (nd - kd + 1.0));
+        },
+        [big_n, big_k, nd](std::uint64_t k) {  // pmf(k+1)/pmf(k)
+            const double kd = static_cast<double>(k);
+            return (big_k - kd) * (nd - kd) / ((kd + 1.0) * (big_n - big_k - nd + kd + 1.0));
+        });
+}
+
+void multivariate_hypergeometric(rng& gen, std::span<const std::uint64_t> counts,
+                                 std::uint64_t draws, std::span<std::uint64_t> out) noexcept {
+    std::uint64_t remaining_total = 0;
+    for (const std::uint64_t count : counts) remaining_total += count;
+    std::uint64_t remaining_draws = draws;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        if (remaining_draws == 0) {
+            out[i] = 0;
+            continue;
+        }
+        const std::uint64_t taken =
+            hypergeometric(gen, remaining_total, counts[i], remaining_draws);
+        out[i] = taken;
+        remaining_draws -= taken;
+        remaining_total -= counts[i];
+    }
+}
+
+collision_run sample_collision_free_run(rng& gen, std::uint64_t population,
+                                        std::uint64_t cap) noexcept {
+    const double n = static_cast<double>(population);
+    const double inv_pairs = 1.0 / (n * (n - 1.0));
+    const double u = gen.next_unit();
+    collision_run run;
+    if (cap == 0 || population < 2) return run;  // precondition violated; report no progress
+    // The first interaction's two agents are distinct by construction, so
+    // P(L >= 1) = 1 exactly — starting at 1 keeps that free of fp rounding.
+    run.length = 1;
+    double survival = 1.0;
+    while (run.length < cap) {
+        const std::uint64_t used = 2 * run.length;
+        if (used + 2 > population) break;  // < 2 fresh agents left: collision certain
+        const double fresh = n - static_cast<double>(used);
+        survival *= fresh * (fresh - 1.0) * inv_pairs;
+        if (survival <= u) break;  // P(L >= length+1) = survival; inversion on u
+        ++run.length;
+    }
+    run.collided = run.length < cap;
+    return run;
+}
+
+}  // namespace plurality::sim::dist

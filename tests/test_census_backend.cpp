@@ -103,6 +103,21 @@ TEST(CensusSimulator, AgentVectorConstructorCompressesToCensus) {
     EXPECT_EQ(sim.occupied_states(), 3u);
 }
 
+TEST(CensusSimulator, OccupiedStatesCounterMatchesVisitScan) {
+    // occupied_states() is maintained incrementally (no O(S) scan); it must
+    // track the number of visited states exactly as slots drain and refill.
+    three_sim sim{{}, three_state_census(500, 450, 0), 19};
+    for (int batch = 0; batch < 10; ++batch) {
+        sim.run_for(200);
+        std::size_t scanned = 0;
+        sim.visit_states([&scanned](const majority::three_state_agent&, std::uint64_t) {
+            ++scanned;
+            return true;
+        });
+        ASSERT_EQ(sim.occupied_states(), scanned);
+    }
+}
+
 TEST(CensusSimulator, RejectsPopulationsBelowTwo) {
     EXPECT_THROW((three_sim{{}, three_state_census(1, 0, 0), 1}), std::invalid_argument);
     EXPECT_THROW((three_sim{{}, three_state_census(0, 0, 0), 1}), std::invalid_argument);
@@ -190,11 +205,12 @@ TEST(CensusBackend, JsonReportIsByteIdenticalAcrossThreadCounts) {
 
 // -- cross-backend distributional agreement -----------------------------------
 //
-// Both backends sample the interacting pair uniformly over ordered pairs of
-// distinct agents, so for a fixed initial configuration the convergence-time
-// *distribution* is identical; only the per-seed draws differ.  The tests
-// below compare mean convergence times over independent trials with a
-// calibrated tolerance: the trial counts and thresholds come from the
+// All three backends (agent, per-step census, batched census) sample the
+// interacting pair uniformly over ordered pairs of distinct agents, so for a
+// fixed initial configuration the convergence-time *distribution* is
+// identical; only the per-seed draws differ.  The tests below compare mean
+// convergence times over independent trials pairwise across the backends
+// with a calibrated tolerance: the trial counts and thresholds come from the
 // statistic's own standard error (a ~5-sigma band plus a small absolute
 // slack), NOT from hunting for lucky seeds — re-rolling the RNG streams
 // stays inside the band with overwhelming probability.
@@ -218,36 +234,46 @@ backend_sample sample_mean_time(const scenario::any_scenario& s,
     return out;
 }
 
-void expect_means_agree(const backend_sample& agent, const backend_sample& census) {
-    const double difference = std::abs(agent.mean - census.mean);
-    const double combined = std::sqrt(agent.stderr_mean * agent.stderr_mean +
-                                      census.stderr_mean * census.stderr_mean);
+void expect_means_agree(const backend_sample& left, const backend_sample& right,
+                        const char* left_name, const char* right_name) {
+    const double difference = std::abs(left.mean - right.mean);
+    const double combined = std::sqrt(left.stderr_mean * left.stderr_mean +
+                                      right.stderr_mean * right.stderr_mean);
     EXPECT_LE(difference, 5.0 * combined + 0.75)
-        << "agent mean " << agent.mean << " vs census mean " << census.mean
+        << left_name << " mean " << left.mean << " vs " << right_name << " mean " << right.mean
         << " (combined stderr " << combined << ")";
 }
 
-TEST(CensusBackend, EpidemicBroadcastTimesAgreeWithAgentBackend) {
+/// Pairwise 5σ agreement across all three backends on one scenario.
+void expect_backends_agree(const scenario::any_scenario& s,
+                           const scenario::scenario_params& params, std::size_t trials,
+                           std::uint64_t base_seed) {
+    const auto agent = sample_mean_time(s, params, trials, base_seed,
+                                        scenario::backend_kind::agent);
+    const auto census = sample_mean_time(s, params, trials, base_seed,
+                                         scenario::backend_kind::census);
+    const auto batch = sample_mean_time(s, params, trials, base_seed,
+                                        scenario::backend_kind::batch);
+    expect_means_agree(agent, census, "agent", "census");
+    expect_means_agree(agent, batch, "agent", "batch");
+    expect_means_agree(census, batch, "census", "batch");
+}
+
+TEST(CensusBackend, EpidemicBroadcastTimesAgreeAcrossBackends) {
     const auto* s = scenario::scenario_registry::instance().find("epidemic/broadcast");
     ASSERT_NE(s, nullptr);
     scenario::scenario_params params;
     params.n = 512;
-    const std::size_t trials = 30;
-    expect_means_agree(
-        sample_mean_time(*s, params, trials, 1001, scenario::backend_kind::agent),
-        sample_mean_time(*s, params, trials, 1001, scenario::backend_kind::census));
+    expect_backends_agree(*s, params, 30, 1001);
 }
 
-TEST(CensusBackend, ThreeStateMajorityTimesAgreeWithAgentBackend) {
+TEST(CensusBackend, ThreeStateMajorityTimesAgreeAcrossBackends) {
     const auto* s = scenario::scenario_registry::instance().find("majority/three-state");
     ASSERT_NE(s, nullptr);
     scenario::scenario_params params;
     params.n = 600;
     params.bias = 60;
-    const std::size_t trials = 30;
-    expect_means_agree(
-        sample_mean_time(*s, params, trials, 2002, scenario::backend_kind::agent),
-        sample_mean_time(*s, params, trials, 2002, scenario::backend_kind::census));
+    expect_backends_agree(*s, params, 30, 2002);
 }
 
 TEST(CensusBackend, LoadBalanceConservesTotalLoad) {

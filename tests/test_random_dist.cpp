@@ -1,0 +1,295 @@
+// Calibrated statistical tests for the portable samplers (sim/random_dist.h).
+//
+// Thresholds are derived from each statistic's own sampling distribution —
+// mean checks use a ~5σ band (plus a small absolute slack) computed from the
+// known variance and the draw count, χ² checks use df + 5·√(2·df) + slack —
+// NOT from hunting for lucky seeds: re-rolling the RNG streams stays inside
+// the bands with overwhelming probability.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "sim/random_dist.h"
+#include "sim/rng.h"
+
+namespace {
+
+using plurality::sim::rng;
+namespace dist = plurality::sim::dist;
+
+/// 5σ band for a sample mean of `draws` iid variates with variance `var`.
+double mean_band(double var, std::size_t draws) {
+    return 5.0 * std::sqrt(var / static_cast<double>(draws));
+}
+
+/// Generous χ² acceptance threshold for `df` degrees of freedom.
+double chi_square_threshold(double df) { return df + 5.0 * std::sqrt(2.0 * df) + 10.0; }
+
+double chi_square(const std::vector<double>& observed, const std::vector<double>& expected) {
+    double chi = 0.0;
+    for (std::size_t i = 0; i < observed.size(); ++i) {
+        const double diff = observed[i] - expected[i];
+        chi += diff * diff / expected[i];
+    }
+    return chi;
+}
+
+TEST(RandomDist, LogFactorialMatchesDirectSummationAcrossTableBoundary) {
+    double direct = 0.0;
+    for (std::uint64_t n = 1; n <= 5000; ++n) {
+        direct += std::log(static_cast<double>(n));
+        if (n % 500 == 0 || n == 4095 || n == 4096 || n == 4097) {
+            EXPECT_NEAR(dist::log_factorial(n), direct, 1e-9 * direct) << "n=" << n;
+        }
+    }
+    EXPECT_DOUBLE_EQ(dist::log_factorial(0), 0.0);
+    EXPECT_DOUBLE_EQ(dist::log_factorial(1), 0.0);
+}
+
+TEST(RandomDist, GeometricMeanAndVariance) {
+    constexpr double p = 0.25;
+    constexpr std::size_t draws = 20000;
+    rng gen(101);
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (std::size_t i = 0; i < draws; ++i) {
+        const double v = static_cast<double>(dist::geometric(gen, p));
+        sum += v;
+        sum_sq += v * v;
+    }
+    const double mean = sum / draws;
+    const double expected_mean = (1.0 - p) / p;           // 3
+    const double expected_var = (1.0 - p) / (p * p);      // 12
+    EXPECT_NEAR(mean, expected_mean, mean_band(expected_var, draws) + 0.05);
+    const double var = sum_sq / draws - mean * mean;
+    EXPECT_NEAR(var, expected_var, 0.20 * expected_var);  // generous: var of var is fat-tailed
+}
+
+TEST(RandomDist, GeometricChiSquareAgainstPmf) {
+    constexpr double p = 0.3;
+    constexpr std::size_t draws = 20000;
+    constexpr std::size_t buckets = 12;  // 0..10 plus the >= 11 tail
+    rng gen(202);
+    std::vector<double> observed(buckets, 0.0);
+    for (std::size_t i = 0; i < draws; ++i) {
+        const std::uint64_t v = dist::geometric(gen, p);
+        observed[v < buckets - 1 ? v : buckets - 1] += 1.0;
+    }
+    std::vector<double> expected(buckets, 0.0);
+    double tail = 1.0;
+    for (std::size_t k = 0; k + 1 < buckets; ++k) {
+        const double pmf = p * std::pow(1.0 - p, static_cast<double>(k));
+        expected[k] = pmf * draws;
+        tail -= pmf;
+    }
+    expected[buckets - 1] = tail * draws;
+    EXPECT_LT(chi_square(observed, expected), chi_square_threshold(buckets - 1));
+}
+
+TEST(RandomDist, GeometricCertainSuccessReturnsZero) {
+    rng gen(7);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(dist::geometric(gen, 1.0), 0u);
+}
+
+TEST(RandomDist, BinomialSmallChiSquareAgainstPmf) {
+    constexpr std::uint64_t n = 12;
+    constexpr double p = 0.3;
+    constexpr std::size_t draws = 20000;
+    rng gen(303);
+    std::vector<double> observed(n + 1, 0.0);
+    for (std::size_t i = 0; i < draws; ++i) {
+        const std::uint64_t v = dist::binomial(gen, n, p);
+        ASSERT_LE(v, n);
+        observed[v] += 1.0;
+    }
+    std::vector<double> expected(n + 1, 0.0);
+    double pmf = std::pow(1.0 - p, static_cast<double>(n));  // pmf(0)
+    for (std::uint64_t k = 0; k <= n; ++k) {
+        expected[k] = pmf * draws;
+        pmf *= (static_cast<double>(n - k) / static_cast<double>(k + 1)) * (p / (1.0 - p));
+    }
+    EXPECT_LT(chi_square(observed, expected), chi_square_threshold(static_cast<double>(n)));
+}
+
+TEST(RandomDist, BinomialLargeParametersMeanAndVariance) {
+    constexpr std::uint64_t n = 100000;
+    constexpr double p = 0.37;
+    constexpr std::size_t draws = 2000;
+    rng gen(404);
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (std::size_t i = 0; i < draws; ++i) {
+        const double v = static_cast<double>(dist::binomial(gen, n, p));
+        sum += v;
+        sum_sq += v * v;
+    }
+    const double mean = sum / draws;
+    const double expected_mean = n * p;
+    const double expected_var = n * p * (1.0 - p);
+    EXPECT_NEAR(mean, expected_mean, mean_band(expected_var, draws) + 3.0);
+    const double var = sum_sq / draws - mean * mean;
+    EXPECT_NEAR(var, expected_var, 0.20 * expected_var);
+}
+
+TEST(RandomDist, BinomialEdgeCases) {
+    rng gen(1);
+    EXPECT_EQ(dist::binomial(gen, 0, 0.5), 0u);
+    EXPECT_EQ(dist::binomial(gen, 100, 0.0), 0u);
+    EXPECT_EQ(dist::binomial(gen, 100, 1.0), 100u);
+}
+
+TEST(RandomDist, HypergeometricSmallChiSquareAgainstPmf) {
+    constexpr std::uint64_t total = 60;
+    constexpr std::uint64_t successes = 25;
+    constexpr std::uint64_t n = 20;
+    constexpr std::size_t draws = 20000;
+    rng gen(505);
+    std::vector<double> observed(n + 1, 0.0);
+    for (std::size_t i = 0; i < draws; ++i) {
+        const std::uint64_t v = dist::hypergeometric(gen, total, successes, n);
+        ASSERT_LE(v, n);
+        ASSERT_LE(v, successes);
+        observed[v] += 1.0;
+    }
+    // pmf by ratio recurrence from k = 0, normalized by its own sum.
+    std::vector<double> pmf(n + 1, 0.0);
+    pmf[0] = 1.0;
+    double norm = 1.0;
+    for (std::uint64_t k = 0; k < n; ++k) {
+        const double kd = static_cast<double>(k);
+        pmf[k + 1] = pmf[k] * (successes - kd) * (n - kd) /
+                     ((kd + 1.0) * (total - successes - n + kd + 1.0));
+        norm += pmf[k + 1];
+    }
+    std::vector<double> expected(n + 1, 0.0);
+    for (std::uint64_t k = 0; k <= n; ++k) expected[k] = pmf[k] / norm * draws;
+    EXPECT_LT(chi_square(observed, expected), chi_square_threshold(static_cast<double>(n)));
+}
+
+TEST(RandomDist, HypergeometricCensusScaleMeanAndVariance) {
+    // The batched census backend's regime: a billion-agent urn, tens of
+    // thousands of draws.
+    constexpr std::uint64_t total = 1'000'000'000;
+    constexpr std::uint64_t successes = 400'000'000;
+    constexpr std::uint64_t n = 50'000;
+    constexpr std::size_t draws = 2000;
+    rng gen(606);
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (std::size_t i = 0; i < draws; ++i) {
+        const double v = static_cast<double>(dist::hypergeometric(gen, total, successes, n));
+        sum += v;
+        sum_sq += v * v;
+    }
+    const double ratio = static_cast<double>(successes) / static_cast<double>(total);
+    const double fpc = static_cast<double>(total - n) / static_cast<double>(total - 1);
+    const double expected_mean = n * ratio;                       // 20000
+    const double expected_var = n * ratio * (1.0 - ratio) * fpc;  // ~12000
+    const double mean = sum / draws;
+    EXPECT_NEAR(mean, expected_mean, mean_band(expected_var, draws) + 3.0);
+    const double var = sum_sq / draws - mean * mean;
+    EXPECT_NEAR(var, expected_var, 0.20 * expected_var);
+}
+
+TEST(RandomDist, HypergeometricEdgeCases) {
+    rng gen(2);
+    EXPECT_EQ(dist::hypergeometric(gen, 100, 0, 50), 0u);     // no successes
+    EXPECT_EQ(dist::hypergeometric(gen, 100, 100, 37), 37u);  // all successes
+    EXPECT_EQ(dist::hypergeometric(gen, 100, 42, 100), 42u);  // exhaustive draw
+    EXPECT_EQ(dist::hypergeometric(gen, 100, 42, 0), 0u);     // no draw
+}
+
+TEST(RandomDist, MultivariateHypergeometricConservesAndMatchesMarginal) {
+    const std::vector<std::uint64_t> counts = {300, 500, 200};
+    constexpr std::uint64_t n = 100;
+    constexpr std::size_t reps = 5000;
+    rng gen(707);
+    std::vector<std::uint64_t> out(counts.size());
+    double middle_sum = 0.0;
+    for (std::size_t i = 0; i < reps; ++i) {
+        dist::multivariate_hypergeometric(gen, counts, n, out);
+        std::uint64_t sum = 0;
+        for (std::size_t j = 0; j < out.size(); ++j) {
+            ASSERT_LE(out[j], counts[j]);
+            sum += out[j];
+        }
+        ASSERT_EQ(sum, n);
+        middle_sum += static_cast<double>(out[1]);
+    }
+    // Marginal of category 1 is Hypergeometric(1000, 500, 100).
+    const double expected_mean = 50.0;
+    const double expected_var = 100.0 * 0.5 * 0.5 * (900.0 / 999.0);
+    EXPECT_NEAR(middle_sum / reps, expected_mean, mean_band(expected_var, reps) + 0.1);
+}
+
+TEST(RandomDist, MultivariateHypergeometricExhaustiveDrawReturnsCounts) {
+    const std::vector<std::uint64_t> counts = {5, 0, 7, 11, 3};
+    rng gen(808);
+    std::vector<std::uint64_t> out(counts.size());
+    dist::multivariate_hypergeometric(gen, counts, 26, out);
+    EXPECT_EQ(out, counts);
+}
+
+TEST(RandomDist, CollisionRunMatchesAnalyticMoments) {
+    // E[L] and E[L²] follow directly from the survival function
+    // S(l) = P(L >= l): E[L] = Σ_{l>=1} S(l), E[L²] = Σ (2l−1)·S(l).
+    constexpr std::uint64_t n = 10000;
+    const double inv_pairs = 1.0 / (static_cast<double>(n) * (n - 1.0));
+    double survival = 1.0;
+    double expected_mean = 0.0;
+    double expected_sq = 0.0;
+    for (std::uint64_t l = 1; survival > 1e-15 && 2 * l <= n; ++l) {
+        const double used = 2.0 * static_cast<double>(l - 1);
+        const double fresh = static_cast<double>(n) - used;
+        survival *= fresh * (fresh - 1.0) * inv_pairs;  // S(l)
+        expected_mean += survival;
+        expected_sq += (2.0 * static_cast<double>(l) - 1.0) * survival;
+    }
+    const double expected_var = expected_sq - expected_mean * expected_mean;
+
+    constexpr std::size_t reps = 4000;
+    rng gen(909);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < reps; ++i) {
+        const auto run = dist::sample_collision_free_run(gen, n, 1u << 30);
+        ASSERT_GE(run.length, 1u);
+        ASSERT_TRUE(run.collided);  // cap is far beyond any feasible run
+        sum += static_cast<double>(run.length);
+    }
+    EXPECT_NEAR(sum / reps, expected_mean, mean_band(expected_var, reps) + 0.5);
+}
+
+TEST(RandomDist, CollisionRunHonorsTheCap) {
+    rng gen(1010);
+    for (int i = 0; i < 200; ++i) {
+        const auto run = dist::sample_collision_free_run(gen, 10000, 5);
+        ASSERT_GE(run.length, 1u);
+        ASSERT_LE(run.length, 5u);
+        EXPECT_EQ(run.collided, run.length < 5);
+    }
+    // cap 1 always returns exactly one collision-free interaction.
+    const auto one = dist::sample_collision_free_run(gen, 100, 1);
+    EXPECT_EQ(one.length, 1u);
+    EXPECT_FALSE(one.collided);
+}
+
+TEST(RandomDist, CollisionRunTinyPopulations) {
+    rng gen(1111);
+    for (int i = 0; i < 100; ++i) {
+        // n = 2: every interaction reuses both agents, so runs have length 1
+        // and always end in a collision when the cap allows more.
+        const auto two = dist::sample_collision_free_run(gen, 2, 10);
+        EXPECT_EQ(two.length, 1u);
+        EXPECT_TRUE(two.collided);
+        // n = 3: two distinct agents are used after one interaction and only
+        // one fresh agent remains — a second collision-free pair is
+        // impossible.
+        const auto three = dist::sample_collision_free_run(gen, 3, 10);
+        EXPECT_EQ(three.length, 1u);
+        EXPECT_TRUE(three.collided);
+    }
+}
+
+}  // namespace

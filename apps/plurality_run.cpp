@@ -7,7 +7,7 @@
 //   plurality_run --list
 //   plurality_run --scenario NAME [--n N] [--k K] [--workload W] [--bias B]
 //                 [--dust D] [--fraction PCT] [--zipf-s S] [--sources C]
-//                 [--time-budget T] [--backend agent|census|batch]
+//                 [--time-budget T] [--backend agent|census|batch|leap]
 //                 [--trials T] [--seed S] [--threads J]
 //                 [--out FILE.json] [--trace FILE.csv] [--trace-cadence C]
 //
@@ -20,7 +20,9 @@
 // occupied state), O(S) memory — the backend for population sizes far
 // beyond what per-agent storage can hold; --backend batch is the census
 // backend with collision-free run batching — the same Markov chain at a
-// multiple of the throughput for small-S protocols (see
+// multiple of the throughput for small-S protocols; --backend leap samples
+// each run's pair-type contingency table directly — the fastest backend for
+// small-occupancy protocols, independent of the run length (see
 // docs/ARCHITECTURE.md).
 //
 // Examples:
@@ -66,7 +68,7 @@ struct options {
                  "       %s --scenario NAME [--n N] [--k K] [--workload "
                  "bias1|uniform|zipf|dominant|two-heavy]\n"
                  "          [--bias B] [--dust D] [--fraction PCT] [--zipf-s S] [--sources C]\n"
-                 "          [--time-budget T] [--backend agent|census|batch]\n"
+                 "          [--time-budget T] [--backend agent|census|batch|leap]\n"
                  "          [--trials T] [--seed S] [--threads J]\n"
                  "          [--out FILE.json] [--trace FILE.csv] [--trace-cadence C]\n",
                  argv0, argv0);
@@ -94,7 +96,7 @@ options parse(int argc, char** argv) {
             const char* name = value();
             const auto backend = scenario::parse_backend(name);
             if (!backend.has_value()) {
-                std::fprintf(stderr, "unknown backend '%s' (expected agent|census|batch)\n", name);
+                std::fprintf(stderr, "unknown backend '%s' (expected agent|census|batch|leap)\n", name);
                 usage(argv[0], 2);
             }
             opt.backend = *backend;

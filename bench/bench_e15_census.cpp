@@ -100,6 +100,44 @@ BENCHMARK(BM_CensusThroughput)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+void BM_CensusLocate(benchmark::State& state) {
+    // A/B of the Fenwick rank->slot descent in isolation: the branchless
+    // cmov+prefetch production path vs the guarded-loop reference it
+    // replaced.  The census tree is small (S slots, not n), so both live in
+    // L1 and the delta measures branch-misprediction cost only — report it
+    // honestly even when it is small; the row exists so a regression in
+    // either path is visible.
+    const bool branchless = state.range(0) != 0;
+    usd_census_sim sim{{}, usd_census(1'000'000, opinion_count), 0xe15700};
+    sim.run_for(200'000);  // spread mass across decided/undecided slots
+    const std::uint64_t population = sim.population_size();
+
+    plurality::sim::rng ranks{0xe15701};
+    std::uint64_t lookups = 0;
+    std::size_t sink = 0;
+    for (auto _ : state) {
+        constexpr std::uint64_t batch = 1024;
+        if (branchless) {
+            for (std::uint64_t i = 0; i < batch; ++i)
+                sink += sim.locate_rank(ranks.next_below(population));
+        } else {
+            for (std::uint64_t i = 0; i < batch; ++i)
+                sink += sim.locate_rank_reference(ranks.next_below(population));
+        }
+        lookups += batch;
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(static_cast<std::int64_t>(lookups));
+    state.counters["occupied_states"] = static_cast<double>(sim.occupied_states());
+    state.SetLabel(branchless ? "branchless" : "reference");
+}
+BENCHMARK(BM_CensusLocate)
+    ->ArgNames({"branchless"})
+    ->Args({0})
+    ->Args({1})
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
 void BM_CensusConvergence(benchmark::State& state) {
     const auto n = static_cast<std::uint32_t>(state.range(0));
     const bool majority_rows = state.range(1) != 0;

@@ -10,6 +10,7 @@ const char* backend_name(backend_kind backend) noexcept {
     switch (backend) {
         case backend_kind::census: return "census";
         case backend_kind::batch: return "batch";
+        case backend_kind::leap: return "leap";
         case backend_kind::agent: break;
     }
     return "agent";
@@ -19,6 +20,7 @@ std::optional<backend_kind> parse_backend(std::string_view name) noexcept {
     if (name == "agent") return backend_kind::agent;
     if (name == "census") return backend_kind::census;
     if (name == "batch") return backend_kind::batch;
+    if (name == "leap") return backend_kind::leap;
     return std::nullopt;
 }
 

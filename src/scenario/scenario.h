@@ -24,6 +24,10 @@
 //   * backend_kind::batch  — sim::batch_census_simulator, census-space with
 //     collision-free run batching; the large-n *throughput* backend for
 //     small-S protocols.
+//   * backend_kind::leap   — sim::leap_census_simulator, pair-type leaping:
+//     collision-free runs sampled as their ordered state-pair contingency
+//     table, O(occupied²) per run independent of the run length; the fastest
+//     backend for small-occupancy protocols.
 //
 // To serve both, the predicates and metric extractors are *templates* over
 // the simulation type, written against the shared weighted-state read API
@@ -50,6 +54,7 @@
 #include "sim/batch_census_simulator.h"
 #include "sim/census_simulator.h"
 #include "sim/convergence.h"
+#include "sim/leap_census_simulator.h"
 #include "sim/population_view.h"
 #include "sim/rng.h"
 #include "sim/simulation.h"
@@ -65,10 +70,11 @@ namespace plurality::scenario {
 enum class backend_kind : std::uint8_t {
     agent,   ///< sim::simulation — per-agent vector, O(n) memory
     census,  ///< sim::census_simulator — state counters, O(S) memory
-    batch    ///< sim::batch_census_simulator — collision-free run batching
+    batch,   ///< sim::batch_census_simulator — collision-free run batching
+    leap     ///< sim::leap_census_simulator — pair-type contingency-table leaping
 };
 
-/// CLI/JSON name of a backend ("agent" / "census" / "batch").
+/// CLI/JSON name of a backend ("agent" / "census" / "batch" / "leap").
 [[nodiscard]] const char* backend_name(backend_kind backend) noexcept;
 
 /// Parses a backend name; nullopt on anything unknown.
@@ -142,7 +148,9 @@ concept scenario_spec =
              const sim::simulation<typename S::protocol_t>& asim,
              const sim::census_simulator<typename S::protocol_t, typename S::codec_t>& csim,
              const sim::batch_census_simulator<typename S::protocol_t, typename S::codec_t>&
-                 bsim) {
+                 bsim,
+             const sim::leap_census_simulator<typename S::protocol_t, typename S::codec_t>&
+                 lsim) {
         { s.make_protocol(p, gen) } -> std::same_as<typename S::protocol_t>;
         {
             s.make_population(p, gen)
@@ -159,6 +167,9 @@ concept scenario_spec =
         { s.converged(bsim) } -> std::convertible_to<bool>;
         { s.correct(bsim) } -> std::convertible_to<bool>;
         { s.metrics(bsim) } -> std::convertible_to<std::vector<metric>>;
+        { s.converged(lsim) } -> std::convertible_to<bool>;
+        { s.correct(lsim) } -> std::convertible_to<bool>;
+        { s.metrics(lsim) } -> std::convertible_to<std::vector<metric>>;
         { s.time_budget(p) } -> std::convertible_to<double>;
     };
 
@@ -233,6 +244,11 @@ private:
                 // The batch backend consumes the same census builders — no
                 // n-sized vector is ever materialized on this path either.
                 sim::batch_census_simulator<typename S::protocol_t, typename S::codec_t> sim{
+                    std::move(protocol), spec.make_census(params, setup), run_seed};
+                return drive(spec, params, sim, cadence, csv);
+            }
+            if (backend == backend_kind::leap) {
+                sim::leap_census_simulator<typename S::protocol_t, typename S::codec_t> sim{
                     std::move(protocol), spec.make_census(params, setup), run_seed};
                 return drive(spec, params, sim, cadence, csv);
             }

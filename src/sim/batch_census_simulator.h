@@ -74,6 +74,95 @@ concept declares_deterministic_delta =
         { p.deterministic_delta(u, v) } -> std::convertible_to<bool>;
     };
 
+namespace detail {
+
+/// Post-run participant groups keyed by census key: a flat accumulator whose
+/// scratch persists across runs.  Lookups linear-scan the group list while it
+/// is small — the overwhelmingly common case; deterministic-δ protocols
+/// produce a handful of post-states per run — and switch to a hash index
+/// only once a run exceeds the threshold (tournament-family fallback runs).
+/// The previous per-run unordered_map rebuilt a heap node per group per run,
+/// which dominated batch setup at small n; the flat path is allocation-free
+/// after warm-up.  Shared by the batch and leap census backends.
+template <class Agent, class Key>
+class used_group_set {
+public:
+    /// One group of run participants sharing a post-interaction state.
+    struct group {
+        Agent state;
+        Key key{};
+        std::uint64_t count = 0;
+    };
+
+    void clear() {
+        groups_.clear();
+        if (indexed_) {
+            index_.clear();
+            indexed_ = false;
+        }
+    }
+
+    /// Adds `count` agents whose post-run state is `state` (encoded `key`).
+    void add(const Agent& state, const Key& key, std::uint64_t count) {
+        if (!indexed_) {
+            for (auto& g : groups_) {
+                if (g.key == key) {
+                    g.count += count;
+                    return;
+                }
+            }
+            groups_.push_back({state, key, count});
+            if (groups_.size() > linear_threshold) build_index();
+            return;
+        }
+        const auto [it, inserted] =
+            index_.try_emplace(key, static_cast<std::uint32_t>(groups_.size()));
+        if (inserted) {
+            groups_.push_back({state, key, count});
+        } else {
+            groups_[it->second].count += count;
+        }
+    }
+
+    /// Removes one agent from the (present) group with this key.
+    void remove_one(const Key& key) {
+        if (!indexed_) {
+            for (auto& g : groups_) {
+                if (g.key == key) {
+                    --g.count;
+                    return;
+                }
+            }
+            return;  // unreachable for keys previously added
+        }
+        --groups_[index_.find(key)->second].count;
+    }
+
+    [[nodiscard]] const std::vector<group>& groups() const noexcept { return groups_; }
+
+    [[nodiscard]] std::size_t memory_bytes() const noexcept {
+        return groups_.capacity() * sizeof(group) +
+               index_.size() * (sizeof(Key) + sizeof(std::uint32_t) + 2 * sizeof(void*));
+    }
+
+private:
+    static constexpr std::size_t linear_threshold = 32;
+
+    void build_index() {
+        index_.reserve(groups_.size());
+        for (std::size_t i = 0; i < groups_.size(); ++i) {
+            index_.try_emplace(groups_[i].key, static_cast<std::uint32_t>(i));
+        }
+        indexed_ = true;
+    }
+
+    std::vector<group> groups_;
+    std::unordered_map<Key, std::uint32_t, census_key_hash> index_;
+    bool indexed_ = false;
+};
+
+}  // namespace detail
+
 /// Drives one protocol instance over one population, census-space, stepping
 /// whole collision-free runs at a time.  Satisfies the same
 /// `steppable_simulation` / `visit_states` contracts as the other two
@@ -151,9 +240,8 @@ public:
                 pinit_.capacity() + row_.capacity()) *
                    sizeof(std::uint64_t) +
                (occupied_list_.capacity() + pslots_.capacity()) * sizeof(std::uint32_t) +
-               used_.capacity() * sizeof(group) +
-               (index_.size() + used_index_.size()) *
-                   (sizeof(key_t) + sizeof(std::uint32_t) + 2 * sizeof(void*));
+               used_.memory_bytes() +
+               index_.size() * (sizeof(key_t) + sizeof(std::uint32_t) + 2 * sizeof(void*));
     }
 
     [[nodiscard]] P& protocol_state() noexcept { return protocol_; }
@@ -168,12 +256,6 @@ private:
         key_t key{};
         std::uint64_t count = 0;
         bool listed = false;  ///< currently present in occupied_list_
-    };
-
-    /// One group of run participants sharing a post-interaction state.
-    struct group {
-        agent_t state;
-        std::uint64_t count = 0;
     };
 
     /// One batch: a collision-free run truncated at `budget`, plus the
@@ -233,7 +315,6 @@ private:
         // sequentially-conditioned contingency table, one row per initiator
         // state; δ applies per cell.
         used_.clear();
-        used_index_.clear();
         for (std::size_t j = 0; j < pslots_.size(); ++j) {
             if (pinit_[j] == 0) continue;
             row_.assign(pslots_.size(), 0);
@@ -248,7 +329,7 @@ private:
         if (run.collided) execute_collision(2 * pairs);
 
         // Re-deposit every participant's post-state.
-        for (const auto& g : used_) {
+        for (const auto& g : used_.groups()) {
             if (g.count > 0) deposit(g.state, g.count);
         }
 
@@ -317,27 +398,18 @@ private:
     /// `used_` groups (each unit of count is one agent).
     [[nodiscard]] const agent_t& used_state_at(std::uint64_t rank) const noexcept {
         std::uint64_t remaining = rank;
-        for (const auto& g : used_) {
+        for (const auto& g : used_.groups()) {
             if (remaining < g.count) return g.state;
             remaining -= g.count;
         }
-        return used_.back().state;  // unreachable for rank < Σ counts
+        return used_.groups().back().state;  // unreachable for rank < Σ counts
     }
 
     void used_add(const agent_t& state, std::uint64_t count) {
-        const key_t key = Codec::encode(state);
-        const auto [it, inserted] =
-            used_index_.try_emplace(key, static_cast<std::uint32_t>(used_.size()));
-        if (inserted) {
-            used_.push_back({state, count});
-        } else {
-            used_[it->second].count += count;
-        }
+        used_.add(state, Codec::encode(state), count);
     }
 
-    void used_remove(const agent_t& state) {
-        --used_[used_index_.find(Codec::encode(state))->second].count;
-    }
+    void used_remove(const agent_t& state) { used_.remove_one(Codec::encode(state)); }
 
     /// Withdraws and returns the state of the *fresh* (non-participant)
     /// agent with zero-based rank `rank` over the current census counts.
@@ -402,8 +474,7 @@ private:
     std::vector<std::uint64_t> pcount_;        ///< participants, then responders, per pslot
     std::vector<std::uint64_t> pinit_;         ///< participants in initiator position
     std::vector<std::uint64_t> row_;           ///< one contingency-table row
-    std::vector<group> used_;                  ///< post-run states of participants
-    std::unordered_map<key_t, std::uint32_t, census_key_hash> used_index_;
+    detail::used_group_set<agent_t, key_t> used_;  ///< post-run states of participants
 };
 
 }  // namespace plurality::sim

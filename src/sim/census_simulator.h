@@ -205,6 +205,26 @@ public:
     [[nodiscard]] P& protocol_state() noexcept { return protocol_; }
     [[nodiscard]] const P& protocol_state() const noexcept { return protocol_; }
 
+    /// Bench/test hooks for the Fenwick rank→slot descent: `locate_rank` is
+    /// the branchless production path `step()` uses, `locate_rank_reference`
+    /// the straightforward guarded loop it replaced.  bench_e15_census A/Bs
+    /// them; tests assert they agree on every rank.  `rank < population`.
+    [[nodiscard]] std::size_t locate_rank(std::uint64_t rank) const noexcept {
+        return locate(rank);
+    }
+    [[nodiscard]] std::size_t locate_rank_reference(std::uint64_t rank) const noexcept {
+        std::size_t position = 0;
+        std::uint64_t remaining = rank;
+        for (std::size_t step = capacity_; step > 0; step >>= 1) {
+            const std::size_t next = position + step;
+            if (next <= capacity_ && tree_[next] <= remaining) {
+                position = next;
+                remaining -= tree_[next];
+            }
+        }
+        return position;
+    }
+
     /// Exposes the random stream (same contract as simulation::random).
     [[nodiscard]] rng& random() noexcept { return gen_; }
 
@@ -269,15 +289,33 @@ private:
 
     /// Slot containing the agent with zero-based rank `rank` in cumulative
     /// count order: the largest prefix p with sum(slots[0..p)) <= rank.
+    ///
+    /// Branchless descent.  `capacity_` is a power of two, so `tree_` is a
+    /// perfect binary heap over [1, capacity_]: the root `tree_[capacity_]`
+    /// holds the whole population, which no valid rank can reach, so the
+    /// walk starts one level down — and from there `position` is always a
+    /// multiple of 2·step, so `position + step <= capacity_` holds without a
+    /// bounds check.  The take/skip decision is data-dependent on a random
+    /// rank (a ~50/50 coin at every level — the worst case for a branch
+    /// predictor), so both updates are written as ternaries for the compiler
+    /// to lower to conditional moves, and the two possible children of the
+    /// next level are prefetched while the current comparison resolves.
     [[nodiscard]] std::size_t locate(std::uint64_t rank) const noexcept {
         std::size_t position = 0;
         std::uint64_t remaining = rank;
-        for (std::size_t step = capacity_; step > 0; step >>= 1) {
+        const std::uint64_t* const tree = tree_.data();
+        for (std::size_t step = capacity_ >> 1; step > 0; step >>= 1) {
             const std::size_t next = position + step;
-            if (next <= capacity_ && tree_[next] <= remaining) {
-                position = next;
-                remaining -= tree_[next];
+            const std::uint64_t node = tree[next];
+#if defined(__GNUC__) || defined(__clang__)
+            if (step > 1) {
+                __builtin_prefetch(&tree[position + (step >> 1)]);
+                __builtin_prefetch(&tree[next + (step >> 1)]);
             }
+#endif
+            const bool take = node <= remaining;
+            position = take ? next : position;
+            remaining = take ? remaining - node : remaining;
         }
         return position;
     }

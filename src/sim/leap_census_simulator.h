@@ -1,0 +1,415 @@
+// Pair-type leaping backend: collision-free runs characterized entirely by
+// their ordered pair-type contingency table — no participant sampling, no
+// per-interaction survival walk, the *exact* same sequential Markov chain.
+//
+// The batch backend (sim/batch_census_simulator.h) already applies δ per
+// ordered state-pair group, but two of its per-run costs still scale with
+// the run length L ≈ √n:
+//
+//   * the run length itself is sampled by walking the birthday survival
+//     product one interaction at a time — O(L) multiplies per run, which at
+//     n = 10⁹ (L ≈ 2·10⁴) is the dominant cost of the entire backend;
+//   * the 2L participants are materialized as a census-space group draw
+//     before being split into initiator/responder halves.
+//
+// For a deterministic-δ protocol neither is necessary: a collision-free run
+// is *fully described* by its ordered (initiator-state × responder-state)
+// contingency table, so the leap backend samples that table directly:
+//
+//   1. Run length L: one uniform inverted through the closed-form
+//      log-survival function (dist::sample_collision_free_run_leap) —
+//      O(log L) worst case, O(1) expected, instead of O(L).
+//   2. Initiator-state counts: one multivariate-hypergeometric draw of L
+//      agents over the census (dist::multivariate_hypergeometric).
+//   3. Responder-state counts: one MVH draw of L agents over the remaining
+//      census.  By exchangeability of without-replacement draws, (2)+(3)
+//      have exactly the joint law of the batch backend's
+//      2L-participants-then-split factorization — the participant stage is
+//      skipped, never approximated.
+//   4. The table: a uniform random bijection between the initiator and
+//      responder multisets, sampled row-by-row by sequential MVH
+//      conditioning; δ applies once per nonzero cell (per interaction for
+//      pairs the protocol does not declare deterministic — the same exact
+//      fallback as the batch backend, so every protocol runs correctly).
+//   5. The colliding interaction, when the run ended naturally, is executed
+//      from its exact conditional distribution — same three-case
+//      (both-used / used-fresh / fresh-used) handling as the batch backend.
+//
+// Per-run cost is O(occupied) fixed work for the margin draws plus
+// O(nonzero²) for the table — *independent of L* up to the O(σ) ≈ O(n^¼)
+// enumeration inside each mode-centered variate — so at n = 10⁹ with ≤10
+// occupied states a run of ~2·10⁴ interactions costs ~10²–10³ draws' worth
+// of work where the batch backend walks ~2·10⁴ survival terms.
+// bench_e17_leap measures the ratio (acceptance bar: ≥5× batch on epidemic
+// and three-state at n = 10⁹).
+//
+// Exactness: every draw above is an exact conditional of the uniform
+// pairwise scheduler's law, in the same style as the batch backend's MVH
+// machinery — the two backends simulate the same chain and the existing 5σ
+// cross-backend validation carries over (tests/test_leap_backend.cpp).  Runs
+// are pure functions of the seed; trajectories are backend-specific, as
+// always.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sim/batch_census_simulator.h"
+#include "sim/census_simulator.h"
+#include "sim/random_dist.h"
+#include "sim/rng.h"
+#include "sim/simulation.h"
+
+namespace plurality::sim {
+
+/// Drives one protocol instance over one population, census-space, leaping
+/// whole collision-free runs via their pair-type contingency table.
+/// Satisfies the same `steppable_simulation` / `visit_states` contracts as
+/// the other backends, so `sim::converge`, `trace::recorder` and the
+/// sim::view helpers work unchanged.
+template <protocol P, census_codec<typename P::agent_t> Codec>
+class leap_census_simulator {
+public:
+    using agent_t = typename P::agent_t;
+    using key_t = typename Codec::key_t;
+    using entry_t = census_entry<agent_t>;
+
+    /// Takes ownership of the protocol instance and the initial census.
+    /// Requires a total population of at least two agents.
+    leap_census_simulator(P proto, const std::vector<entry_t>& initial, std::uint64_t seed)
+        : protocol_(std::move(proto)), gen_(seed) {
+        for (const auto& entry : initial) population_ += entry.count;
+        if (population_ < 2)
+            throw std::invalid_argument("leap_census_simulator requires n >= 2");
+        index_.reserve(initial.size());
+        slots_.reserve(initial.size());
+        for (const auto& entry : initial) {
+            if (entry.count > 0) deposit(entry.state, entry.count);
+        }
+    }
+
+    /// Convenience: compresses a full agent vector into its census (small-n
+    /// tests comparing backends on identical configurations).
+    leap_census_simulator(P proto, const std::vector<agent_t>& agents, std::uint64_t seed)
+        : leap_census_simulator(std::move(proto), compress_to_census<Codec>(agents), seed) {}
+
+    /// Executes exactly one interaction (a run truncated to length 1).
+    void step() { run_for(1); }
+
+    /// Executes exactly `count` interactions, one collision-free run at a
+    /// time; the last run is truncated to land on `count` precisely.
+    void run_for(std::uint64_t count) {
+        while (count > 0) count -= run_batch(count);
+    }
+
+    [[nodiscard]] std::uint64_t interactions() const noexcept { return interactions_; }
+    [[nodiscard]] double parallel_time() const noexcept {
+        return static_cast<double>(interactions_) / static_cast<double>(population_);
+    }
+    [[nodiscard]] std::size_t population_size() const noexcept {
+        return static_cast<std::size_t>(population_);
+    }
+
+    /// Visits every occupied state as `(state, count)` in state-discovery
+    /// order; stops early when `fn` returns false.  The read API shared with
+    /// the other backends.
+    template <class Fn>
+    void visit_states(Fn&& fn) const {
+        for (const auto& slot : slots_) {
+            if (slot.count > 0 && !fn(slot.state, slot.count)) return;
+        }
+    }
+
+    /// Number of currently occupied states.
+    [[nodiscard]] std::size_t occupied_states() const noexcept { return occupied_; }
+
+    /// Number of states seen at any point of the run.
+    [[nodiscard]] std::size_t reachable_states() const noexcept { return slots_.size(); }
+
+    /// Count of agents currently in the given state (0 if never reached).
+    [[nodiscard]] std::uint64_t count_of(const agent_t& state) const {
+        const auto it = index_.find(Codec::encode(state));
+        return it == index_.end() ? 0 : slots_[it->second].count;
+    }
+
+    /// Approximate heap footprint of the census bookkeeping.
+    [[nodiscard]] std::size_t memory_bytes() const noexcept {
+        return slots_.capacity() * sizeof(slot) +
+               (counts_.capacity() + init_.capacity() + resp_.capacity() + pinit_.capacity() +
+                presp_.capacity() + row_.capacity()) *
+                   sizeof(std::uint64_t) +
+               (occupied_list_.capacity() + pslots_.capacity()) * sizeof(std::uint32_t) +
+               used_.memory_bytes() +
+               index_.size() * (sizeof(key_t) + sizeof(std::uint32_t) + 2 * sizeof(void*));
+    }
+
+    [[nodiscard]] P& protocol_state() noexcept { return protocol_; }
+    [[nodiscard]] const P& protocol_state() const noexcept { return protocol_; }
+
+    /// Exposes the random stream (same contract as the other backends).
+    [[nodiscard]] rng& random() noexcept { return gen_; }
+
+private:
+    struct slot {
+        agent_t state;
+        key_t key{};
+        std::uint64_t count = 0;
+        bool listed = false;  ///< currently present in occupied_list_
+    };
+
+    /// One leap: a collision-free run truncated at `budget`, plus the
+    /// colliding interaction when the run ended naturally.  Returns the
+    /// number of interactions executed (>= 1).
+    std::uint64_t run_batch(std::uint64_t budget) {
+        // Snapshot the occupied census slots (same lazy in-place compaction
+        // as the batch backend: dormant slots leave the list at the next
+        // snapshot, preserving discovery order, so a run costs O(occupied)
+        // rather than O(reachable)).  Consumes no randomness, so it can run
+        // before the run-length draw and feed the absorbed-census check.
+        counts_.clear();
+        std::size_t keep = 0;
+        for (std::size_t r = 0; r < occupied_list_.size(); ++r) {
+            const std::uint32_t i = occupied_list_[r];
+            if (slots_[i].count == 0) {
+                slots_[i].listed = false;
+                continue;
+            }
+            occupied_list_[keep++] = i;
+            counts_.push_back(slots_[i].count);
+        }
+        occupied_list_.resize(keep);
+
+        // Absorbed-census fast path: with a single occupied state and a
+        // deterministic quiescent δ(s, s) = (s, s), every future interaction
+        // is a no-op — execute the whole budget in O(1).  The skipped draws
+        // can never matter: no later interaction can read them into the
+        // census.
+        if constexpr (declares_deterministic_delta<P>) {
+            if (occupied_list_.size() == 1) {
+                const auto& only = slots_[occupied_list_[0]];
+                if (protocol_.deterministic_delta(only.state, only.state)) {
+                    agent_t u = only.state;
+                    agent_t v = only.state;
+                    protocol_.interact(u, v, gen_);
+                    if (Codec::encode(u) == only.key && Codec::encode(v) == only.key) {
+                        interactions_ += budget;
+                        return budget;
+                    }
+                }
+            }
+        }
+
+        const auto run = dist::sample_collision_free_run_leap(gen_, population_, budget);
+        const std::uint64_t pairs = run.length;
+
+        // Margins first, participants never: the L initiators are an MVH
+        // draw over the census, the L responders an MVH draw over what
+        // remains.  (Equivalent to the batch backend's
+        // draw-2L-then-split-halves factorization by exchangeability; one
+        // full-width stage cheaper, and no 2L-sized anything.)
+        init_.assign(occupied_list_.size(), 0);
+        dist::multivariate_hypergeometric(gen_, counts_, pairs, init_);
+        for (std::size_t j = 0; j < occupied_list_.size(); ++j) counts_[j] -= init_[j];
+        resp_.assign(occupied_list_.size(), 0);
+        dist::multivariate_hypergeometric(gen_, counts_, pairs, resp_);
+
+        // Withdraw all participants and compact to the states that take part
+        // (at most 2L of them): every stage below is quadratic-ish in the
+        // category count.  Zero-draw categories consumed no randomness, so
+        // compaction leaves the stream unchanged.
+        pslots_.clear();
+        pinit_.clear();
+        presp_.clear();
+        for (std::size_t j = 0; j < occupied_list_.size(); ++j) {
+            const std::uint64_t taking = init_[j] + resp_[j];
+            if (taking == 0) continue;
+            adjust(occupied_list_[j], -static_cast<std::int64_t>(taking));
+            pslots_.push_back(occupied_list_[j]);
+            pinit_.push_back(init_[j]);
+            presp_.push_back(resp_[j]);
+        }
+
+        // The pair-type table: pair the margins by a uniform random
+        // bijection, sampled as sequentially-conditioned rows — one MVH of
+        // initiator state j's row over the responders still unpaired; δ
+        // applies once per nonzero cell.
+        used_.clear();
+        for (std::size_t j = 0; j < pslots_.size(); ++j) {
+            if (pinit_[j] == 0) continue;
+            row_.assign(pslots_.size(), 0);
+            dist::multivariate_hypergeometric(gen_, presp_, pinit_[j], row_);
+            for (std::size_t t = 0; t < pslots_.size(); ++t) {
+                if (row_[t] == 0) continue;
+                presp_[t] -= row_[t];
+                apply_group(slots_[pslots_[j]].state, slots_[pslots_[t]].state, row_[t]);
+            }
+        }
+
+        if (run.collided) execute_collision(2 * pairs);
+
+        // Re-deposit every participant's post-state.  Post-states are almost
+        // always already-listed slots, so try a short key-compare scan of the
+        // occupied list before paying the hash lookup.
+        for (const auto& g : used_.groups()) {
+            if (g.count == 0) continue;
+            if (occupied_list_.size() <= 16) {
+                bool found = false;
+                for (const std::uint32_t i : occupied_list_) {
+                    if (slots_[i].key == g.key) {
+                        adjust(i, static_cast<std::int64_t>(g.count));
+                        found = true;
+                        break;
+                    }
+                }
+                if (found) continue;
+            }
+            deposit(g.state, g.count);
+        }
+
+        const std::uint64_t executed = pairs + (run.collided ? 1 : 0);
+        interactions_ += executed;
+        return executed;
+    }
+
+    /// Applies δ to `count` interactions that all see the ordered state pair
+    /// (u, v): once for a declared-deterministic pair, per interaction
+    /// otherwise (the exact fallback for randomized δ).
+    void apply_group(const agent_t& u_state, const agent_t& v_state, std::uint64_t count) {
+        if constexpr (declares_deterministic_delta<P>) {
+            if (protocol_.deterministic_delta(u_state, v_state)) {
+                agent_t u = u_state;
+                agent_t v = v_state;
+                protocol_.interact(u, v, gen_);
+                used_add(u, count);
+                used_add(v, count);
+                return;
+            }
+        }
+        for (std::uint64_t c = 0; c < count; ++c) {
+            agent_t u = u_state;
+            agent_t v = v_state;
+            protocol_.interact(u, v, gen_);
+            used_add(u, 1);
+            used_add(v, 1);
+        }
+    }
+
+    /// Executes the interaction that ended the run: a uniform ordered pair
+    /// of distinct agents conditioned on touching at least one of the `m2`
+    /// run participants (whose current states live in `used_`).
+    void execute_collision(std::uint64_t m2) {
+        const std::uint64_t fresh = population_ - m2;
+        const std::uint64_t both_used = m2 * (m2 - 1);
+        const std::uint64_t r = gen_.next_below(both_used + 2 * m2 * fresh);
+        agent_t u;
+        agent_t v;
+        if (r < both_used) {
+            const std::uint64_t i = r / (m2 - 1);
+            std::uint64_t j = r % (m2 - 1);
+            if (j >= i) ++j;  // distinct-ordered-pair decode
+            u = used_state_at(i);
+            v = used_state_at(j);
+            used_remove(u);
+            used_remove(v);
+        } else if (r < both_used + m2 * fresh) {
+            const std::uint64_t q = r - both_used;
+            u = used_state_at(q / fresh);
+            used_remove(u);
+            v = census_take_at(q % fresh);
+        } else {
+            const std::uint64_t q = r - both_used - m2 * fresh;
+            u = census_take_at(q % fresh);
+            v = used_state_at(q / fresh);
+            used_remove(v);
+        }
+        protocol_.interact(u, v, gen_);
+        used_add(u, 1);
+        used_add(v, 1);
+    }
+
+    /// State of the run participant with zero-based rank `rank` over the
+    /// `used_` groups (each unit of count is one agent).
+    [[nodiscard]] const agent_t& used_state_at(std::uint64_t rank) const noexcept {
+        std::uint64_t remaining = rank;
+        for (const auto& g : used_.groups()) {
+            if (remaining < g.count) return g.state;
+            remaining -= g.count;
+        }
+        return used_.groups().back().state;  // unreachable for rank < Σ counts
+    }
+
+    void used_add(const agent_t& state, std::uint64_t count) {
+        used_.add(state, Codec::encode(state), count);
+    }
+
+    void used_remove(const agent_t& state) { used_.remove_one(Codec::encode(state)); }
+
+    /// Withdraws and returns the state of the *fresh* (non-participant)
+    /// agent with zero-based rank `rank` over the current census counts.
+    [[nodiscard]] agent_t census_take_at(std::uint64_t rank) {
+        std::uint64_t remaining = rank;
+        std::uint32_t last = occupied_list_.back();
+        for (const std::uint32_t i : occupied_list_) {
+            if (slots_[i].count == 0) continue;
+            if (remaining < slots_[i].count) {
+                adjust(i, -1);
+                return slots_[i].state;
+            }
+            remaining -= slots_[i].count;
+            last = i;
+        }
+        adjust(last, -1);
+        return slots_[last].state;  // unreachable for rank < census total
+    }
+
+    /// Adds `count` agents in `state`, creating its slot on first sight.
+    void deposit(const agent_t& state, std::uint64_t count) {
+        const key_t key = Codec::encode(state);
+        const auto [it, inserted] =
+            index_.try_emplace(key, static_cast<std::uint32_t>(slots_.size()));
+        if (inserted) slots_.push_back({state, key, 0});
+        adjust(it->second, static_cast<std::int64_t>(count));
+    }
+
+    /// Applies a signed count delta to a slot, maintaining `occupied_` and
+    /// the occupied-slot list (append on occupancy; dormant slots leave the
+    /// list lazily at the next run snapshot).
+    void adjust(std::size_t index, std::int64_t delta) {
+        auto& entry = slots_[index];
+        const bool was_occupied = entry.count > 0;
+        entry.count = static_cast<std::uint64_t>(static_cast<std::int64_t>(entry.count) + delta);
+        if (entry.count > 0 && !was_occupied) {
+            ++occupied_;
+            if (!entry.listed) {
+                entry.listed = true;
+                occupied_list_.push_back(static_cast<std::uint32_t>(index));
+            }
+        }
+        if (entry.count == 0 && was_occupied) --occupied_;
+    }
+
+    P protocol_;
+    rng gen_;
+    std::vector<slot> slots_;  ///< discovery-ordered; dormant slots keep their index
+    std::unordered_map<key_t, std::uint32_t, census_key_hash> index_;  ///< key -> slot
+    std::size_t occupied_ = 0;      ///< slots with count > 0
+    std::uint64_t population_ = 0;  ///< invariant: Σ slot counts (+ in-flight run)
+    std::uint64_t interactions_ = 0;
+
+    // Per-run scratch, reused across runs to stay allocation-free on the hot
+    // path.
+    std::vector<std::uint32_t> occupied_list_;  ///< occupied slots, discovery order
+    std::vector<std::uint64_t> counts_;         ///< snapshot of their counts
+    std::vector<std::uint64_t> init_;           ///< initiator margin per occupied slot
+    std::vector<std::uint64_t> resp_;           ///< responder margin per occupied slot
+    std::vector<std::uint32_t> pslots_;         ///< slots taking part (compact)
+    std::vector<std::uint64_t> pinit_;          ///< initiator margin, compacted
+    std::vector<std::uint64_t> presp_;          ///< unpaired responders, compacted
+    std::vector<std::uint64_t> row_;            ///< one contingency-table row
+    detail::used_group_set<agent_t, key_t> used_;  ///< post-run states of participants
+};
+
+}  // namespace plurality::sim

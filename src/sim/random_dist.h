@@ -53,6 +53,20 @@ namespace plurality::sim::dist {
 void multivariate_hypergeometric(rng& gen, std::span<const std::uint64_t> counts,
                                  std::uint64_t draws, std::span<std::uint64_t> out) noexcept;
 
+/// Multinomial variate: distributes `draws` independent trials over
+/// categories with nonnegative `weights`, writing per-category trial counts
+/// into `out` (same length as `weights`; Σ out == draws).  Sampled by
+/// sequential conditioning — category i's count is Binomial(remaining draws,
+/// w_i / remaining weight), the row-conditioned binomial split — so the cost
+/// is one binomial variate per category.  Zero-weight (and trailing forced)
+/// categories consume no randomness, matching the zero-consumption contract
+/// of the without-replacement samplers above.  This is the with-replacement
+/// sibling of `multivariate_hypergeometric`: contingency-table row splits
+/// and aggregate draws of counted random δ outcomes (ROADMAP item 1) build
+/// on it.  Requires Σ weights > 0 when draws > 0.
+void multinomial(rng& gen, std::span<const double> weights, std::uint64_t draws,
+                 std::span<std::uint64_t> out) noexcept;
+
 /// Length of the maximal *collision-free run* of scheduler interactions: the
 /// largest L such that the next L uniform ordered pairs of distinct agents
 /// touch 2L pairwise-distinct agents (the birthday problem over pairs).
@@ -69,5 +83,29 @@ struct collision_run {
 /// collision-free, so length >= 1.
 [[nodiscard]] collision_run sample_collision_free_run(rng& gen, std::uint64_t population,
                                                       std::uint64_t cap) noexcept;
+
+/// ln P(L >= l) for the collision-free run length above, evaluated in closed
+/// form — O(1), no product loop.  Exact up to floating-point rounding:
+/// small populations go through the tabulated log-factorials, large ones
+/// through a cancellation-free rearrangement of the Stirling series (the
+/// naive lgamma difference loses ~10 digits at n = 10⁹; this form keeps
+/// absolute error around 1e-11).  Returns 0.0 for l <= 1 (the first
+/// interaction is always collision-free) and -infinity when 2l agents cannot
+/// be distinct.  Requires population >= 2.
+[[nodiscard]] double log_collision_free_survival(std::uint64_t population,
+                                                 std::uint64_t length) noexcept;
+
+/// Same distribution as `sample_collision_free_run`, sampled in O(log cap)
+/// instead of O(L): one uniform is inverted through the closed-form
+/// log-survival function by bracketed search seeded at the Gaussian
+/// approximation L ≈ √(-n·ln u / 2), instead of walking the survival product
+/// one interaction at a time.  This is what makes the pair-type leaping
+/// backend's per-run cost independent of the run length L ≈ √n
+/// (sim/leap_census_simulator.h).  Consumes exactly one uniform, like the
+/// loop sampler; the two samplers invert the same law but are not bitwise
+/// stream-compatible (their rounding differs), which is fine because random
+/// streams are per-backend anyway.
+[[nodiscard]] collision_run sample_collision_free_run_leap(rng& gen, std::uint64_t population,
+                                                           std::uint64_t cap) noexcept;
 
 }  // namespace plurality::sim::dist

@@ -57,6 +57,17 @@ TEST(CensusSimulator, ConservesPopulationAcrossInteractions) {
     EXPECT_LE(sim.reachable_states(), 3u);
 }
 
+TEST(CensusSimulator, BranchlessLocateMatchesReferenceDescentOnEveryRank) {
+    // The branchless cmov+prefetch Fenwick descent and the guarded-loop
+    // reference must pick the same slot for every rank — exhaustively, so a
+    // boundary slip at a node edge cannot hide.
+    three_sim sim{{}, three_state_census(60, 40, 23), 11};
+    sim.run_for(500);  // move mass around so slot counts are irregular
+    for (std::uint64_t rank = 0; rank < sim.population_size(); ++rank) {
+        ASSERT_EQ(sim.locate_rank(rank), sim.locate_rank_reference(rank)) << "rank=" << rank;
+    }
+}
+
 TEST(CensusSimulator, MatchesIndependentCountedCensusReplay) {
     // Replay the same seed twice: once counting through the simulator's own
     // census, once through the independent census::counted_census, and

@@ -96,8 +96,11 @@ options parse(int argc, char** argv) {
             const char* name = value();
             const auto backend = scenario::parse_backend(name);
             if (!backend.has_value()) {
-                std::fprintf(stderr, "unknown backend '%s' (expected agent|census|batch|leap)\n", name);
-                usage(argv[0], 2);
+                // One line, no usage dump: scripts grepping stderr get the
+                // valid names directly.
+                std::fprintf(stderr, "unknown backend '%s' (valid backends: %s)\n", name,
+                             scenario::backend_list());
+                std::exit(2);
             }
             opt.backend = *backend;
         } else if (arg == "--trials") {

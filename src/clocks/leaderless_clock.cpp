@@ -5,25 +5,6 @@
 
 namespace plurality::clocks {
 
-tick_result leaderless_tick(std::uint32_t& initiator_count, std::uint32_t& responder_count,
-                            std::uint32_t psi, sim::rng& gen) noexcept {
-    tick_result result;
-    bool bump_initiator;
-    if (initiator_count == responder_count) {
-        bump_initiator = gen.next_bool();  // "ties are broken arbitrarily"
-    } else {
-        bump_initiator = circular_behind(initiator_count, responder_count, psi);
-    }
-    if (bump_initiator) {
-        initiator_count = (initiator_count + 1) % psi;
-        result.initiator_wrapped = initiator_count == 0;
-    } else {
-        responder_count = (responder_count + 1) % psi;
-        result.responder_wrapped = responder_count == 0;
-    }
-    return result;
-}
-
 std::uint32_t counter_spread(std::span<const clock_agent> agents, std::uint32_t psi) noexcept {
     // The spread is psi minus the largest "gap" of unoccupied counter values
     // on the circle; scanning occupancy is O(n + psi).

@@ -34,10 +34,30 @@ struct tick_result {
 };
 
 /// Applies the leaderless clock rule to two counters (both in [0, psi)).
-/// Exactly one of the two counters is incremented (mod psi).
+/// Exactly one of the two counters is incremented (mod psi).  Templated
+/// over the generator so the tie-break coin can also run against the
+/// enumerating replay generator (sim/delta_outcomes.h) — the tick's outcome
+/// distribution depends only on the two counter values.
+template <class R>
 [[nodiscard]] tick_result leaderless_tick(std::uint32_t& initiator_count,
                                           std::uint32_t& responder_count, std::uint32_t psi,
-                                          sim::rng& gen) noexcept;
+                                          R& gen) noexcept {
+    tick_result result;
+    bool bump_initiator;
+    if (initiator_count == responder_count) {
+        bump_initiator = gen.next_bool();  // "ties are broken arbitrarily"
+    } else {
+        bump_initiator = circular_behind(initiator_count, responder_count, psi);
+    }
+    if (bump_initiator) {
+        initiator_count = (initiator_count + 1) % psi;
+        result.initiator_wrapped = initiator_count == 0;
+    } else {
+        responder_count = (responder_count + 1) % psi;
+        result.responder_wrapped = responder_count == 0;
+    }
+    return result;
+}
 
 /// Standalone wrapper: a population consisting purely of clock agents.
 /// `phase` counts revolutions modulo `phase_modulus`.

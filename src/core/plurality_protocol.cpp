@@ -51,7 +51,8 @@ std::vector<core_agent> plurality_protocol::make_population(
 // Stage and phase bookkeeping
 // ---------------------------------------------------------------------------
 
-void plurality_protocol::assign_random_role(agent_t& agent, sim::rng& gen) const {
+template <class R>
+void plurality_protocol::assign_random_role(agent_t& agent, R& gen) const {
     agent.opinion = 0;
     agent.tokens = 0;
     agent.defender = false;
@@ -80,7 +81,8 @@ bool plurality_protocol::is_select_phase(std::uint8_t phase) const noexcept {
     return cfg_.mode != algorithm_mode::ordered && phase == cfg_.select_phase();
 }
 
-void plurality_protocol::enter_stage(agent_t& agent, lifecycle_stage target, sim::rng& gen) const {
+template <class R>
+void plurality_protocol::enter_stage(agent_t& agent, lifecycle_stage target, R& gen) const {
     while (agent.stage < target) {
         if (agent.stage == lifecycle_stage::init) {
             // Leaving initialization.
@@ -152,7 +154,8 @@ void plurality_protocol::set_phase(agent_t& agent, std::uint8_t phase) const {
 /// Fires the actions an agent performs when it *enters* its current phase
 /// (the paper's "first interaction in this phase" / "do once" machinery,
 /// realized edge-triggered at the moment the agent learns the new phase).
-void plurality_protocol::on_phase_entry(agent_t& agent, sim::rng& gen) const {
+template <class R>
+void plurality_protocol::on_phase_entry(agent_t& agent, R& gen) const {
     agent.once_flags = 0;
 
     if (agent.stage == lifecycle_stage::electing) {
@@ -209,7 +212,8 @@ void plurality_protocol::on_phase_entry(agent_t& agent, sim::rng& gen) const {
     }
 }
 
-void plurality_protocol::sync_stage_and_phase(agent_t& u, agent_t& v, sim::rng& gen) const {
+template <class R>
+void plurality_protocol::sync_stage_and_phase(agent_t& u, agent_t& v, R& gen) const {
     // Stage broadcast: the later stage wins.  Clock agents only accept the
     // broadcast out of the initialization stage (where their counter is
     // reset); the electing->tournaments transition they perform themselves
@@ -256,7 +260,8 @@ void plurality_protocol::sync_stage_and_phase(agent_t& u, agent_t& v, sim::rng& 
 // Initialization stage
 // ---------------------------------------------------------------------------
 
-void plurality_protocol::init_interact(agent_t& u, agent_t& v, sim::rng& gen) const {
+template <class R>
+void plurality_protocol::init_interact(agent_t& u, agent_t& v, R& gen) const {
     const bool collector_pair = u.role == agent_role::collector && !u.counting &&
                                 v.role == agent_role::collector && !v.counting;
     if (collector_pair && u.opinion != 0 && u.opinion == v.opinion) {
@@ -324,7 +329,8 @@ void plurality_protocol::init_interact(agent_t& u, agent_t& v, sim::rng& gen) co
     }
 }
 
-void plurality_protocol::init_interact_improved(agent_t& u, agent_t& v, sim::rng& gen) const {
+template <class R>
+void plurality_protocol::init_interact_improved(agent_t& u, agent_t& v, R& gen) const {
     // Algorithm 5: everything here happens in *meaningful* interactions
     // (same opinion) only.
     if (u.opinion != v.opinion) return;
@@ -364,7 +370,7 @@ void plurality_protocol::init_interact_improved(agent_t& u, agent_t& v, sim::rng
 // Leader-election stage (Appendix B)
 // ---------------------------------------------------------------------------
 
-void plurality_protocol::electing_interact(agent_t& u, agent_t& v, sim::rng&) const {
+void plurality_protocol::electing_interact(agent_t& u, agent_t& v) const {
     if (u.role != agent_role::tracker || v.role != agent_role::tracker) return;
     if (u.phase != v.phase) return;  // stale round information must not leak
 
@@ -486,7 +492,7 @@ void plurality_protocol::conclude_pair(agent_t& collector, agent_t& player) cons
     }
 }
 
-void plurality_protocol::tournament_interact(agent_t& u, agent_t& v, sim::rng&) const {
+void plurality_protocol::tournament_interact(agent_t& u, agent_t& v) const {
     const std::uint8_t p = u.phase;
 
     if (is_select_phase(p)) {
@@ -550,7 +556,8 @@ void plurality_protocol::tournament_interact(agent_t& u, agent_t& v, sim::rng&) 
 // Top-level transition function
 // ---------------------------------------------------------------------------
 
-void plurality_protocol::interact(agent_t& u, agent_t& v, sim::rng& gen) {
+template <class R>
+void plurality_protocol::interact_t(agent_t& u, agent_t& v, R& gen) const {
     // Algorithm 3, lines 1-2: opinion-1 agents mark themselves defenders on
     // their first interaction as initiator (ordered algorithm only).
     if (!u.ever_initiated) {
@@ -627,10 +634,16 @@ void plurality_protocol::interact(agent_t& u, agent_t& v, sim::rng& gen) {
     if (u.phase != v.phase) return;  // separator skew; no joint work this time
 
     if (u.stage == lifecycle_stage::electing) {
-        electing_interact(u, v, gen);
+        electing_interact(u, v);
     } else {
-        tournament_interact(u, v, gen);
+        tournament_interact(u, v);
     }
 }
+
+// The two generators δ ever runs against: the real stream and the
+// enumerating replay (sim/delta_outcomes.h).
+template void plurality_protocol::interact_t<sim::rng>(agent_t&, agent_t&, sim::rng&) const;
+template void plurality_protocol::interact_t<sim::delta_replay>(agent_t&, agent_t&,
+                                                                sim::delta_replay&) const;
 
 }  // namespace plurality::core

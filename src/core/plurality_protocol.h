@@ -25,6 +25,7 @@
 
 #include "core/agent.h"
 #include "core/config.h"
+#include "sim/delta_outcomes.h"
 #include "sim/rng.h"
 #include "workload/opinion_distribution.h"
 
@@ -38,15 +39,36 @@ public:
 
     /// The population-protocol transition function δ(u, v); u is the
     /// initiator, v the responder (paper §2).
-    void interact(agent_t& initiator, agent_t& responder, sim::rng& gen);
+    void interact(agent_t& initiator, agent_t& responder, sim::rng& gen) const {
+        interact_t(initiator, responder, gen);
+    }
 
-    /// Batch-backend hook (sim/batch_census_simulator.h): the tournament
-    /// machinery consults the RNG across its stages (role assignment,
-    /// election coins, challenger sampling), and which pairs are RNG-free
-    /// depends on mode and phase; conservatively declare every ordered pair
-    /// randomized — the batch backend's per-pair fallback remains exact.
+    /// The transition function, templated over the generator so the
+    /// randomized-δ enumerator (sim/delta_outcomes.h) can replay it against
+    /// scripted choices.  Explicitly instantiated for `sim::rng` and
+    /// `sim::delta_replay` in plurality_protocol.cpp.
+    template <class R>
+    void interact_t(agent_t& initiator, agent_t& responder, R& gen) const;
+
+    /// Fast-backend hook (sim/group_delta.h): the tournament machinery
+    /// consults the RNG across its stages (role assignment, election coins,
+    /// clock tie-breaks), and which pairs are RNG-free depends on mode and
+    /// phase; conservatively declare every ordered pair randomized and let
+    /// `delta_outcomes` below classify pairs exactly instead.
     [[nodiscard]] bool deterministic_delta(const agent_t&, const agent_t&) const noexcept {
         return false;
+    }
+
+    /// Randomized-δ group hook (sim/delta_outcomes.h): every random choice
+    /// of δ — the role die, the election coins, the clock tie-break, the
+    /// slowed count decrement — draws from a distribution fixed by the
+    /// ordered state pair, so almost every reachable pair enumerates to a
+    /// small exact outcome list; the few that exceed the enumeration caps
+    /// (e.g. an agent stepping through many phases at once) return false and
+    /// keep the exact per-pair fallback.
+    [[nodiscard]] bool delta_outcomes(const agent_t& u, const agent_t& v,
+                                      std::vector<sim::delta_outcome<agent_t>>& out) const {
+        return sim::enumerate_delta_outcomes(*this, u, v, out);
     }
 
     [[nodiscard]] const protocol_config& config() const noexcept { return cfg_; }
@@ -59,17 +81,24 @@ public:
 
 private:
     // -- stage / phase bookkeeping -----------------------------------------
-    void enter_stage(agent_t& agent, lifecycle_stage target, sim::rng& gen) const;
+    // Every helper that consults the generator is templated over it, so the
+    // whole call graph can run against sim::delta_replay (see interact_t).
+    template <class R>
+    void enter_stage(agent_t& agent, lifecycle_stage target, R& gen) const;
     void set_phase(agent_t& agent, std::uint8_t phase) const;
     void advance_phase(agent_t& agent) const;
-    void sync_stage_and_phase(agent_t& u, agent_t& v, sim::rng& gen) const;
-    void on_phase_entry(agent_t& agent, sim::rng& gen) const;
+    template <class R>
+    void sync_stage_and_phase(agent_t& u, agent_t& v, R& gen) const;
+    template <class R>
+    void on_phase_entry(agent_t& agent, R& gen) const;
 
     // -- per-stage interaction logic ----------------------------------------
-    void init_interact(agent_t& u, agent_t& v, sim::rng& gen) const;
-    void init_interact_improved(agent_t& u, agent_t& v, sim::rng& gen) const;
-    void electing_interact(agent_t& u, agent_t& v, sim::rng& gen) const;
-    void tournament_interact(agent_t& u, agent_t& v, sim::rng& gen) const;
+    template <class R>
+    void init_interact(agent_t& u, agent_t& v, R& gen) const;
+    template <class R>
+    void init_interact_improved(agent_t& u, agent_t& v, R& gen) const;
+    void electing_interact(agent_t& u, agent_t& v) const;
+    void tournament_interact(agent_t& u, agent_t& v) const;
 
     // tournament working phases (x = either party, directionless helpers
     // receive both orders where the paper's rule is initiator-specific)
@@ -78,7 +107,8 @@ private:
     void lineup_pair(agent_t& initiator, agent_t& responder) const;
     void conclude_pair(agent_t& collector, agent_t& player) const;
 
-    void assign_random_role(agent_t& agent, sim::rng& gen) const;
+    template <class R>
+    void assign_random_role(agent_t& agent, R& gen) const;
     [[nodiscard]] bool is_select_phase(std::uint8_t phase) const noexcept;
 
     protocol_config cfg_;

@@ -4,7 +4,8 @@
 
 namespace plurality::leader {
 
-void leader_election_protocol::advance_round(agent_t& agent, sim::rng& gen) const noexcept {
+template <class R>
+void leader_election_protocol::advance_round(agent_t& agent, R& gen) const noexcept {
     agent.round_tag = static_cast<std::uint8_t>((agent.round_tag + 1) % round_tag_modulus);
     if (agent.rounds_done < total_rounds_) ++agent.rounds_done;
 
@@ -17,8 +18,9 @@ void leader_election_protocol::advance_round(agent_t& agent, sim::rng& gen) cons
     if (agent.rounds_done >= total_rounds_ && agent.candidate) agent.leader = true;
 }
 
-void leader_election_protocol::interact(agent_t& initiator, agent_t& responder,
-                                        sim::rng& gen) const noexcept {
+template <class R>
+void leader_election_protocol::interact_t(agent_t& initiator, agent_t& responder,
+                                          R& gen) const noexcept {
     // 1. Clock: one of the two counters ticks; a wrap starts a new round.
     //    Rounds advance *only* through an agent's own counter wrap: the
     //    leaderless tick rule already keeps the counters (and hence the
@@ -49,6 +51,13 @@ void leader_election_protocol::interact(agent_t& initiator, agent_t& responder,
         }
     }
 }
+
+// The two generators δ ever runs against: the real stream and the
+// enumerating replay (sim/delta_outcomes.h).
+template void leader_election_protocol::interact_t<sim::rng>(agent_t&, agent_t&,
+                                                             sim::rng&) const noexcept;
+template void leader_election_protocol::interact_t<sim::delta_replay>(
+    agent_t&, agent_t&, sim::delta_replay&) const noexcept;
 
 std::uint32_t default_psi(std::uint32_t n) noexcept {
     return 4 * (util::ceil_log2(n < 2 ? 2 : n) + 1);

@@ -24,6 +24,8 @@ std::optional<backend_kind> parse_backend(std::string_view name) noexcept {
     return std::nullopt;
 }
 
+const char* backend_list() noexcept { return "agent|census|batch|leap"; }
+
 workload::opinion_distribution make_workload(const scenario_params& params, sim::rng& gen) {
     if (params.workload == "bias1")
         return workload::make_bias_one(params.n, params.k, params.bias);

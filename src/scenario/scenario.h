@@ -80,6 +80,10 @@ enum class backend_kind : std::uint8_t {
 /// Parses a backend name; nullopt on anything unknown.
 [[nodiscard]] std::optional<backend_kind> parse_backend(std::string_view name) noexcept;
 
+/// Every name `parse_backend` accepts, pipe-separated ("agent|census|…") —
+/// the single source of truth for CLI error messages and usage strings.
+[[nodiscard]] const char* backend_list() noexcept;
+
 /// Parameter block shared by every scenario; each scenario reads the subset
 /// it understands and ignores the rest.  All fields have CLI flags.
 struct scenario_params {

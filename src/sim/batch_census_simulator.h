@@ -20,10 +20,13 @@
 //      uniform random bijection between the halves — exactly the scheduler's
 //      pairing, by exchangeability of without-replacement draws).
 //   3. Apply δ *per group*: when the protocol declares the ordered state
-//      pair's transition deterministic (see `declares_deterministic_delta`),
-//      one δ evaluation moves the whole group's mass; randomized pairs fall
-//      back to one δ call per interaction but still skip all per-interaction
-//      pair sampling.
+//      pair's transition deterministic (see `declares_deterministic_delta`,
+//      sim/group_delta.h), one δ evaluation moves the whole group's mass;
+//      when it declares the pair's exact outcome distribution instead
+//      (`declares_delta_outcomes`, sim/delta_outcomes.h), one multinomial
+//      split advances the whole group through the randomized δ; remaining
+//      pairs fall back to one δ call per interaction but still skip all
+//      per-interaction pair sampling.
 //   4. If the run ended in a collision (rather than the caller's budget),
 //      execute the single colliding interaction exactly: a uniform ordered
 //      pair of distinct agents conditioned on touching at least one run
@@ -58,110 +61,13 @@
 #include <vector>
 
 #include "sim/census_simulator.h"
+#include "sim/delta_outcomes.h"
+#include "sim/group_delta.h"
 #include "sim/random_dist.h"
 #include "sim/rng.h"
 #include "sim/simulation.h"
 
 namespace plurality::sim {
-
-/// A protocol may declare, per ordered state pair, that δ is RNG-free and a
-/// pure function of the two states — the hook that unlocks grouped δ
-/// application.  Protocols without the hook are treated as fully randomized
-/// (correct, just slower).
-template <class P>
-concept declares_deterministic_delta =
-    requires(const P p, const typename P::agent_t& u, const typename P::agent_t& v) {
-        { p.deterministic_delta(u, v) } -> std::convertible_to<bool>;
-    };
-
-namespace detail {
-
-/// Post-run participant groups keyed by census key: a flat accumulator whose
-/// scratch persists across runs.  Lookups linear-scan the group list while it
-/// is small — the overwhelmingly common case; deterministic-δ protocols
-/// produce a handful of post-states per run — and switch to a hash index
-/// only once a run exceeds the threshold (tournament-family fallback runs).
-/// The previous per-run unordered_map rebuilt a heap node per group per run,
-/// which dominated batch setup at small n; the flat path is allocation-free
-/// after warm-up.  Shared by the batch and leap census backends.
-template <class Agent, class Key>
-class used_group_set {
-public:
-    /// One group of run participants sharing a post-interaction state.
-    struct group {
-        Agent state;
-        Key key{};
-        std::uint64_t count = 0;
-    };
-
-    void clear() {
-        groups_.clear();
-        if (indexed_) {
-            index_.clear();
-            indexed_ = false;
-        }
-    }
-
-    /// Adds `count` agents whose post-run state is `state` (encoded `key`).
-    void add(const Agent& state, const Key& key, std::uint64_t count) {
-        if (!indexed_) {
-            for (auto& g : groups_) {
-                if (g.key == key) {
-                    g.count += count;
-                    return;
-                }
-            }
-            groups_.push_back({state, key, count});
-            if (groups_.size() > linear_threshold) build_index();
-            return;
-        }
-        const auto [it, inserted] =
-            index_.try_emplace(key, static_cast<std::uint32_t>(groups_.size()));
-        if (inserted) {
-            groups_.push_back({state, key, count});
-        } else {
-            groups_[it->second].count += count;
-        }
-    }
-
-    /// Removes one agent from the (present) group with this key.
-    void remove_one(const Key& key) {
-        if (!indexed_) {
-            for (auto& g : groups_) {
-                if (g.key == key) {
-                    --g.count;
-                    return;
-                }
-            }
-            return;  // unreachable for keys previously added
-        }
-        --groups_[index_.find(key)->second].count;
-    }
-
-    [[nodiscard]] const std::vector<group>& groups() const noexcept { return groups_; }
-
-    [[nodiscard]] std::size_t memory_bytes() const noexcept {
-        return groups_.capacity() * sizeof(group) +
-               index_.size() * (sizeof(Key) + sizeof(std::uint32_t) + 2 * sizeof(void*));
-    }
-
-private:
-    static constexpr std::size_t linear_threshold = 32;
-
-    void build_index() {
-        index_.reserve(groups_.size());
-        for (std::size_t i = 0; i < groups_.size(); ++i) {
-            index_.try_emplace(groups_[i].key, static_cast<std::uint32_t>(i));
-        }
-        indexed_ = true;
-    }
-
-    std::vector<group> groups_;
-    std::unordered_map<Key, std::uint32_t, census_key_hash> index_;
-    bool indexed_ = false;
-};
-
-}  // namespace detail
 
 /// Drives one protocol instance over one population, census-space, stepping
 /// whole collision-free runs at a time.  Satisfies the same
@@ -240,7 +146,7 @@ public:
                 pinit_.capacity() + row_.capacity()) *
                    sizeof(std::uint64_t) +
                (occupied_list_.capacity() + pslots_.capacity()) * sizeof(std::uint32_t) +
-               used_.memory_bytes() +
+               used_.memory_bytes() + delta_table_.memory_bytes() +
                index_.size() * (sizeof(key_t) + sizeof(std::uint32_t) + 2 * sizeof(void*));
     }
 
@@ -339,8 +245,9 @@ private:
     }
 
     /// Applies δ to `count` interactions that all see the ordered state pair
-    /// (u, v): once for a declared-deterministic pair, per interaction
-    /// otherwise.
+    /// (u, v): once for a declared-deterministic pair, via one multinomial
+    /// split for a pair with a declared outcome distribution, per
+    /// interaction otherwise.
     void apply_group(const agent_t& u_state, const agent_t& v_state, std::uint64_t count) {
         if constexpr (declares_deterministic_delta<P>) {
             if (protocol_.deterministic_delta(u_state, v_state)) {
@@ -349,6 +256,15 @@ private:
                 protocol_.interact(u, v, gen_);
                 used_add(u, count);
                 used_add(v, count);
+                return;
+            }
+        }
+        if constexpr (declares_delta_outcomes<P>) {
+            const auto& entry = delta_table_.lookup(protocol_, u_state, v_state);
+            if (entry.groupable) {
+                delta_table_.apply_group(
+                    entry, gen_, count,
+                    [this](const agent_t& state, std::uint64_t c) { used_add(state, c); });
                 return;
             }
         }
@@ -361,48 +277,15 @@ private:
         }
     }
 
-    /// Executes the interaction that ended the run: a uniform ordered pair
-    /// of distinct agents conditioned on touching at least one of the `m2`
-    /// run participants (whose current states live in `used_`).
+    /// Executes the interaction that ended the run (shared three-case
+    /// decode, sim/group_delta.h): a uniform ordered pair of distinct agents
+    /// conditioned on touching at least one of the `m2` run participants
+    /// (whose current states live in `used_`).
     void execute_collision(std::uint64_t m2) {
-        const std::uint64_t fresh = population_ - m2;
-        const std::uint64_t both_used = m2 * (m2 - 1);
-        const std::uint64_t r = gen_.next_below(both_used + 2 * m2 * fresh);
-        agent_t u;
-        agent_t v;
-        if (r < both_used) {
-            const std::uint64_t i = r / (m2 - 1);
-            std::uint64_t j = r % (m2 - 1);
-            if (j >= i) ++j;  // distinct-ordered-pair decode
-            u = used_state_at(i);
-            v = used_state_at(j);
-            used_remove(u);
-            used_remove(v);
-        } else if (r < both_used + m2 * fresh) {
-            const std::uint64_t q = r - both_used;
-            u = used_state_at(q / fresh);
-            used_remove(u);
-            v = census_take_at(q % fresh);
-        } else {
-            const std::uint64_t q = r - both_used - m2 * fresh;
-            u = census_take_at(q % fresh);
-            v = used_state_at(q / fresh);
-            used_remove(v);
-        }
-        protocol_.interact(u, v, gen_);
-        used_add(u, 1);
-        used_add(v, 1);
-    }
-
-    /// State of the run participant with zero-based rank `rank` over the
-    /// `used_` groups (each unit of count is one agent).
-    [[nodiscard]] const agent_t& used_state_at(std::uint64_t rank) const noexcept {
-        std::uint64_t remaining = rank;
-        for (const auto& g : used_.groups()) {
-            if (remaining < g.count) return g.state;
-            remaining -= g.count;
-        }
-        return used_.groups().back().state;  // unreachable for rank < Σ counts
+        detail::execute_colliding_interaction<Codec>(
+            gen_, population_, m2, used_,
+            [this](std::uint64_t rank) { return census_take_at(rank); },
+            [this](agent_t& u, agent_t& v) { protocol_.interact(u, v, gen_); });
     }
 
     void used_add(const agent_t& state, std::uint64_t count) {
@@ -475,6 +358,7 @@ private:
     std::vector<std::uint64_t> pinit_;         ///< participants in initiator position
     std::vector<std::uint64_t> row_;           ///< one contingency-table row
     detail::used_group_set<agent_t, key_t> used_;  ///< post-run states of participants
+    detail::delta_outcome_table<P, Codec> delta_table_;  ///< randomized-δ group path cache
 };
 
 }  // namespace plurality::sim

@@ -28,9 +28,11 @@
 //      skipped, never approximated.
 //   4. The table: a uniform random bijection between the initiator and
 //      responder multisets, sampled row-by-row by sequential MVH
-//      conditioning; δ applies once per nonzero cell (per interaction for
-//      pairs the protocol does not declare deterministic — the same exact
-//      fallback as the batch backend, so every protocol runs correctly).
+//      conditioning; δ applies once per nonzero cell (one multinomial split
+//      per cell for pairs with a declared outcome distribution — the
+//      randomized-δ group path of sim/group_delta.h — and per interaction
+//      for undeclared pairs: the same exact fallback as the batch backend,
+//      so every protocol runs correctly).
 //   5. The colliding interaction, when the run ended naturally, is executed
 //      from its exact conditional distribution — same three-case
 //      (both-used / used-fresh / fresh-used) handling as the batch backend.
@@ -59,6 +61,8 @@
 
 #include "sim/batch_census_simulator.h"
 #include "sim/census_simulator.h"
+#include "sim/delta_outcomes.h"
+#include "sim/group_delta.h"
 #include "sim/random_dist.h"
 #include "sim/rng.h"
 #include "sim/simulation.h"
@@ -142,7 +146,7 @@ public:
                 presp_.capacity() + row_.capacity()) *
                    sizeof(std::uint64_t) +
                (occupied_list_.capacity() + pslots_.capacity()) * sizeof(std::uint32_t) +
-               used_.memory_bytes() +
+               used_.memory_bytes() + delta_table_.memory_bytes() +
                index_.size() * (sizeof(key_t) + sizeof(std::uint32_t) + 2 * sizeof(void*));
     }
 
@@ -183,22 +187,33 @@ private:
         occupied_list_.resize(keep);
 
         // Absorbed-census fast path: with a single occupied state and a
-        // deterministic quiescent δ(s, s) = (s, s), every future interaction
-        // is a no-op — execute the whole budget in O(1).  The skipped draws
-        // can never matter: no later interaction can read them into the
-        // census.
-        if constexpr (declares_deterministic_delta<P>) {
-            if (occupied_list_.size() == 1) {
-                const auto& only = slots_[occupied_list_[0]];
+        // quiescent δ(s, s) = (s, s) — declared deterministic, or a declared
+        // outcome distribution whose only outcome is the identity — every
+        // future interaction is a no-op: execute the whole budget in O(1).
+        // The skipped draws can never matter: no later interaction can read
+        // them into the census.
+        if (occupied_list_.size() == 1) {
+            const auto& only = slots_[occupied_list_[0]];
+            bool quiescent = false;
+            if constexpr (declares_deterministic_delta<P>) {
                 if (protocol_.deterministic_delta(only.state, only.state)) {
                     agent_t u = only.state;
                     agent_t v = only.state;
                     protocol_.interact(u, v, gen_);
-                    if (Codec::encode(u) == only.key && Codec::encode(v) == only.key) {
-                        interactions_ += budget;
-                        return budget;
-                    }
+                    quiescent = Codec::encode(u) == only.key && Codec::encode(v) == only.key;
                 }
+            }
+            if constexpr (declares_delta_outcomes<P>) {
+                if (!quiescent) {
+                    const auto& entry = delta_table_.lookup(protocol_, only.state, only.state);
+                    quiescent = entry.groupable && entry.outcomes.size() == 1 &&
+                                Codec::encode(entry.outcomes[0].initiator) == only.key &&
+                                Codec::encode(entry.outcomes[0].responder) == only.key;
+                }
+            }
+            if (quiescent) {
+                interactions_ += budget;
+                return budget;
             }
         }
 
@@ -275,8 +290,9 @@ private:
     }
 
     /// Applies δ to `count` interactions that all see the ordered state pair
-    /// (u, v): once for a declared-deterministic pair, per interaction
-    /// otherwise (the exact fallback for randomized δ).
+    /// (u, v): once for a declared-deterministic pair, via one multinomial
+    /// split for a pair with a declared outcome distribution, per
+    /// interaction otherwise (the exact fallback for randomized δ).
     void apply_group(const agent_t& u_state, const agent_t& v_state, std::uint64_t count) {
         if constexpr (declares_deterministic_delta<P>) {
             if (protocol_.deterministic_delta(u_state, v_state)) {
@@ -285,6 +301,15 @@ private:
                 protocol_.interact(u, v, gen_);
                 used_add(u, count);
                 used_add(v, count);
+                return;
+            }
+        }
+        if constexpr (declares_delta_outcomes<P>) {
+            const auto& entry = delta_table_.lookup(protocol_, u_state, v_state);
+            if (entry.groupable) {
+                delta_table_.apply_group(
+                    entry, gen_, count,
+                    [this](const agent_t& state, std::uint64_t c) { used_add(state, c); });
                 return;
             }
         }
@@ -297,48 +322,15 @@ private:
         }
     }
 
-    /// Executes the interaction that ended the run: a uniform ordered pair
-    /// of distinct agents conditioned on touching at least one of the `m2`
-    /// run participants (whose current states live in `used_`).
+    /// Executes the interaction that ended the run (shared three-case
+    /// decode, sim/group_delta.h): a uniform ordered pair of distinct agents
+    /// conditioned on touching at least one of the `m2` run participants
+    /// (whose current states live in `used_`).
     void execute_collision(std::uint64_t m2) {
-        const std::uint64_t fresh = population_ - m2;
-        const std::uint64_t both_used = m2 * (m2 - 1);
-        const std::uint64_t r = gen_.next_below(both_used + 2 * m2 * fresh);
-        agent_t u;
-        agent_t v;
-        if (r < both_used) {
-            const std::uint64_t i = r / (m2 - 1);
-            std::uint64_t j = r % (m2 - 1);
-            if (j >= i) ++j;  // distinct-ordered-pair decode
-            u = used_state_at(i);
-            v = used_state_at(j);
-            used_remove(u);
-            used_remove(v);
-        } else if (r < both_used + m2 * fresh) {
-            const std::uint64_t q = r - both_used;
-            u = used_state_at(q / fresh);
-            used_remove(u);
-            v = census_take_at(q % fresh);
-        } else {
-            const std::uint64_t q = r - both_used - m2 * fresh;
-            u = census_take_at(q % fresh);
-            v = used_state_at(q / fresh);
-            used_remove(v);
-        }
-        protocol_.interact(u, v, gen_);
-        used_add(u, 1);
-        used_add(v, 1);
-    }
-
-    /// State of the run participant with zero-based rank `rank` over the
-    /// `used_` groups (each unit of count is one agent).
-    [[nodiscard]] const agent_t& used_state_at(std::uint64_t rank) const noexcept {
-        std::uint64_t remaining = rank;
-        for (const auto& g : used_.groups()) {
-            if (remaining < g.count) return g.state;
-            remaining -= g.count;
-        }
-        return used_.groups().back().state;  // unreachable for rank < Σ counts
+        detail::execute_colliding_interaction<Codec>(
+            gen_, population_, m2, used_,
+            [this](std::uint64_t rank) { return census_take_at(rank); },
+            [this](agent_t& u, agent_t& v) { protocol_.interact(u, v, gen_); });
     }
 
     void used_add(const agent_t& state, std::uint64_t count) {
@@ -410,6 +402,7 @@ private:
     std::vector<std::uint64_t> presp_;          ///< unpaired responders, compacted
     std::vector<std::uint64_t> row_;            ///< one contingency-table row
     detail::used_group_set<agent_t, key_t> used_;  ///< post-run states of participants
+    detail::delta_outcome_table<P, Codec> delta_table_;  ///< randomized-δ group path cache
 };
 
 }  // namespace plurality::sim

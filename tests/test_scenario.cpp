@@ -143,6 +143,28 @@ TEST(ScenarioRunner, TracedRunMatchesPlainRunAndAnchorsAtTimeZero) {
     EXPECT_EQ(text.substr(header_end + 1, 2), "0,");
 }
 
+TEST(ScenarioBackends, ParseBackendAcceptsExactlyTheAdvertisedList) {
+    // backend_list() is the single source of truth for CLI error messages:
+    // every pipe-separated name it advertises must parse, round-trip through
+    // backend_name, and anything else must be rejected.
+    std::string names = scenario::backend_list();
+    std::size_t parsed = 0;
+    for (std::size_t start = 0; start <= names.size();) {
+        std::size_t end = names.find('|', start);
+        if (end == std::string::npos) end = names.size();
+        const std::string name = names.substr(start, end - start);
+        const auto backend = scenario::parse_backend(name);
+        ASSERT_TRUE(backend.has_value()) << name;
+        EXPECT_EQ(scenario::backend_name(*backend), name);
+        ++parsed;
+        start = end + 1;
+    }
+    EXPECT_EQ(parsed, 4u);
+    EXPECT_FALSE(scenario::parse_backend("warp").has_value());
+    EXPECT_FALSE(scenario::parse_backend("").has_value());
+    EXPECT_FALSE(scenario::parse_backend("Batch").has_value());
+}
+
 TEST(ScenarioWorkloads, UnknownNameThrows) {
     scenario_params p;
     p.workload = "banana";

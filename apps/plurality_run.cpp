@@ -5,15 +5,19 @@
 // machine-readable JSON result document (schema "plurality_run/1").
 //
 //   plurality_run --list
+//   plurality_run --list-metrics
 //   plurality_run --scenario NAME [--n N] [--k K] [--workload W] [--bias B]
 //                 [--dust D] [--fraction PCT] [--zipf-s S] [--sources C]
 //                 [--time-budget T] [--backend agent|census|batch|leap]
 //                 [--trials T] [--seed S] [--threads J]
 //                 [--out FILE.json] [--trace FILE.csv] [--trace-cadence C]
+//                 [--metrics FILE.json] [--metrics-prom FILE.prom] [--progress]
 //
 // Determinism: the JSON document is a pure function of (scenario, params,
 // trials, seed, backend).  --threads only changes wall-clock time; equal
-// seeds give byte-identical documents at any thread count.
+// seeds give byte-identical documents at any thread count.  The same holds
+// for the "deterministic" half of the --metrics sidecar; its "timing" half
+// is wall-clock by design (see docs/OBSERVABILITY.md).
 //
 // Backends: --backend agent (default) simulates every agent individually,
 // O(n) memory; --backend census simulates the state census (one counter per
@@ -31,6 +35,8 @@
 //   plurality_run --scenario baselines/usd --n 2049 --k 5 --trials 30 --threads 4
 //   plurality_run --scenario baselines/usd --n 100000000 --k 5 --backend census --trials 3
 //   plurality_run --scenario epidemic/broadcast --n 100000 --trace spread.csv
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -40,7 +46,9 @@
 #include <sstream>
 #include <string>
 
+#include "obs/catalogue.h"
 #include "scenario/json_report.h"
+#include "scenario/metrics_report.h"
 #include "scenario/registry.h"
 #include "scenario/runner.h"
 #include "sim/trial_executor.h"
@@ -52,6 +60,7 @@ using namespace plurality;
 struct options {
     std::string scenario;
     bool list = false;
+    bool list_metrics = false;
     scenario::scenario_params params;
     scenario::backend_kind backend = scenario::backend_kind::agent;
     std::size_t trials = 10;
@@ -60,18 +69,26 @@ struct options {
     std::string out_path;    ///< empty = stdout
     std::string trace_path;  ///< empty = no trace
     double trace_cadence = 5.0;
+    std::string metrics_path;       ///< empty = no JSON metrics sidecar
+    std::string metrics_prom_path;  ///< empty = no Prometheus exposition
+    bool progress = false;          ///< stderr heartbeat while trials run
 };
+
+/// Seconds between --progress heartbeat lines.
+constexpr double progress_interval_seconds = 2.0;
 
 [[noreturn]] void usage(const char* argv0, int exit_code) {
     std::fprintf(stderr,
                  "usage: %s --list\n"
+                 "       %s --list-metrics\n"
                  "       %s --scenario NAME [--n N] [--k K] [--workload "
                  "bias1|uniform|zipf|dominant|two-heavy]\n"
                  "          [--bias B] [--dust D] [--fraction PCT] [--zipf-s S] [--sources C]\n"
                  "          [--time-budget T] [--backend agent|census|batch|leap]\n"
                  "          [--trials T] [--seed S] [--threads J]\n"
-                 "          [--out FILE.json] [--trace FILE.csv] [--trace-cadence C]\n",
-                 argv0, argv0);
+                 "          [--out FILE.json] [--trace FILE.csv] [--trace-cadence C]\n"
+                 "          [--metrics FILE.json] [--metrics-prom FILE.prom] [--progress]\n",
+                 argv0, argv0, argv0);
     std::exit(exit_code);
 }
 
@@ -90,6 +107,8 @@ options parse(int argc, char** argv) {
         };
         if (arg == "--list") {
             opt.list = true;
+        } else if (arg == "--list-metrics") {
+            opt.list_metrics = true;
         } else if (arg == "--scenario") {
             opt.scenario = value();
         } else if (arg == "--backend") {
@@ -114,7 +133,29 @@ options parse(int argc, char** argv) {
         } else if (arg == "--trace") {
             opt.trace_path = value();
         } else if (arg == "--trace-cadence") {
-            opt.trace_cadence = std::strtod(value(), nullptr);
+            // Strict parse: a silently-accepted garbage cadence (strtod
+            // returning 0) would sample every parallel-time unit instead of
+            // what the caller asked for.  One line, no usage dump — same
+            // contract as the unknown-backend error above.
+            const char* text = value();
+            char* end = nullptr;
+            errno = 0;
+            const double cadence = std::strtod(text, &end);
+            if (end == text || *end != '\0' || errno == ERANGE || !std::isfinite(cadence) ||
+                cadence <= 0.0) {
+                std::fprintf(stderr,
+                             "invalid --trace-cadence '%s' (expected a finite value > 0, in "
+                             "parallel-time units)\n",
+                             text);
+                std::exit(2);
+            }
+            opt.trace_cadence = cadence;
+        } else if (arg == "--metrics") {
+            opt.metrics_path = value();
+        } else if (arg == "--metrics-prom") {
+            opt.metrics_prom_path = value();
+        } else if (arg == "--progress") {
+            opt.progress = true;
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0], 0);
         } else {
@@ -133,11 +174,31 @@ int list_scenarios() {
     return 0;
 }
 
+int list_metrics() {
+    for (const auto& m : plurality::obs::metric_catalogue()) {
+        std::printf("%-40s %-10s %-28s %s\n", m.name, m.kind, m.backends, m.help);
+    }
+    return 0;
+}
+
+/// Writes `content` to `path`, or reports the open failure and returns
+/// false.
+bool write_file(const std::string& path, const std::string& content, const char* what) {
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "cannot open %s file '%s'\n", what, path.c_str());
+        return false;
+    }
+    out << content;
+    return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     const options opt = parse(argc, argv);
     if (opt.list) return list_scenarios();
+    if (opt.list_metrics) return list_metrics();
     if (opt.scenario.empty()) usage(argv[0], 2);
 
     const auto* s = scenario::scenario_registry::instance().find(opt.scenario);
@@ -148,8 +209,13 @@ int main(int argc, char** argv) {
 
     try {
         const sim::trial_executor executor{opt.threads};
+        scenario::run_options run_opts;
+        if (opt.progress) {
+            run_opts.progress_interval = progress_interval_seconds;
+            run_opts.progress_label = opt.scenario;
+        }
         const auto result = scenario::run_scenario_trials(*s, opt.params, opt.trials, opt.seed,
-                                                          executor, opt.backend);
+                                                          executor, opt.backend, run_opts);
 
         if (!opt.trace_path.empty()) {
             // Trace is a re-run of trial 0's exact stream (same seed, same
@@ -167,13 +233,19 @@ int main(int argc, char** argv) {
         scenario::write_json_report(doc, *s, opt.params, opt.seed, result, opt.backend);
         if (opt.out_path.empty()) {
             std::cout << doc.str();
-        } else {
-            std::ofstream out(opt.out_path);
-            if (!out) {
-                std::fprintf(stderr, "cannot open output file '%s'\n", opt.out_path.c_str());
-                return 1;
-            }
-            out << doc.str();
+        } else if (!write_file(opt.out_path, doc.str(), "output")) {
+            return 1;
+        }
+
+        if (!opt.metrics_path.empty()) {
+            std::ostringstream sidecar;
+            scenario::write_metrics_report(sidecar, *s, opt.params, opt.seed, result, opt.backend);
+            if (!write_file(opt.metrics_path, sidecar.str(), "metrics")) return 1;
+        }
+        if (!opt.metrics_prom_path.empty()) {
+            std::ostringstream prom;
+            scenario::write_prometheus_report(prom, *s, result, opt.backend);
+            if (!write_file(opt.metrics_prom_path, prom.str(), "metrics")) return 1;
         }
 
         std::fprintf(stderr, "%s [%s]: %zu/%zu converged, %zu/%zu correct, mean time %.1f\n",

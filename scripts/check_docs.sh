@@ -4,7 +4,10 @@
 #  1. Scenario coverage: every scenario `plurality_run --list` reports must
 #     appear in docs/EXPERIMENTS.md's scenario table, so registering a
 #     scenario without documenting it fails the build.
-#  2. Link check: every relative markdown link in README.md and docs/*.md
+#  2. Metric coverage: every metric `plurality_run --list-metrics` reports
+#     must appear in docs/OBSERVABILITY.md's catalogue table, so
+#     registering a metric without documenting it fails the build too.
+#  3. Link check: every relative markdown link in README.md and docs/*.md
 #     must point at a file that exists (anchors and external URLs are not
 #     checked).
 #
@@ -30,7 +33,21 @@ while read -r scenario _; do
     fi
 done < <("$run_binary" --list)
 
-# -- 2. relative markdown links resolve --------------------------------------
+# -- 2. every registered metric is documented --------------------------------
+observability_doc="$repo_root/docs/OBSERVABILITY.md"
+if [[ ! -f "$observability_doc" ]]; then
+    echo "check_docs: missing $observability_doc" >&2
+    exit 1
+fi
+while read -r metric _; do
+    [[ -z "$metric" ]] && continue
+    if ! grep -qF "\`$metric\`" "$observability_doc"; then
+        echo "check_docs: metric '$metric' is registered but missing from docs/OBSERVABILITY.md" >&2
+        failures=1
+    fi
+done < <("$run_binary" --list-metrics)
+
+# -- 3. relative markdown links resolve --------------------------------------
 for doc in "$repo_root/README.md" "$repo_root"/docs/*.md; do
     [[ -f "$doc" ]] || continue
     doc_dir=$(dirname -- "$doc")
@@ -54,4 +71,4 @@ if [[ "$failures" -ne 0 ]]; then
     echo "check_docs: FAILED" >&2
     exit 1
 fi
-echo "check_docs: OK (scenario table and markdown links are in sync)"
+echo "check_docs: OK (scenario table, metric catalogue and markdown links are in sync)"

@@ -1,0 +1,55 @@
+// The metric catalogue: every metric name the backends and the runner can
+// register, as constants plus a static descriptor table.
+//
+// The constants keep emit sites (simulators' collect_metrics, the runner,
+// the sidecar writer) and consumers (sinks, docs) on one spelling.  The
+// descriptor table is the single source of truth for `plurality_run
+// --list-metrics`, which scripts/check_docs.sh greps against
+// docs/OBSERVABILITY.md so the documented catalogue can never drift from the
+// registered names.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace plurality::obs {
+
+// Count-valued (deterministic per seed; byte-identical across --threads).
+inline constexpr const char* m_interactions = "interactions_total";
+inline constexpr const char* m_rng_words = "rng_words_total";
+inline constexpr const char* m_occupied_hwm = "occupied_states_hwm";
+inline constexpr const char* m_reachable_states = "reachable_states";
+inline constexpr const char* m_fenwick_descents = "fenwick_descents_total";
+inline constexpr const char* m_runs = "runs_total";
+inline constexpr const char* m_collisions = "collisions_total";
+inline constexpr const char* m_absorbed_fastpath = "absorbed_fast_path_interactions_total";
+inline constexpr const char* m_run_length = "run_length_log2";
+inline constexpr const char* m_delta_deterministic = "delta_deterministic_interactions_total";
+inline constexpr const char* m_delta_grouped = "delta_grouped_interactions_total";
+inline constexpr const char* m_delta_fallback = "delta_fallback_interactions_total";
+inline constexpr const char* m_table_hits = "outcome_table_hits_total";
+inline constexpr const char* m_table_misses = "outcome_table_misses_total";
+
+// Timing (wall-clock; sidecar-only, never in the deterministic report).
+inline constexpr const char* m_phase_run_length = "phase_run_length_seconds";
+inline constexpr const char* m_phase_margins = "phase_margin_sampling_seconds";
+inline constexpr const char* m_phase_table = "phase_table_delta_seconds";
+inline constexpr const char* m_phase_collision = "phase_collision_seconds";
+inline constexpr const char* m_trial_wall = "trial_wall_seconds_total";
+inline constexpr const char* m_run_wall = "wall_seconds";
+inline constexpr const char* m_threads = "threads";
+inline constexpr const char* m_thread_utilization = "thread_utilization";
+
+/// One catalogue row: what --list-metrics prints and OBSERVABILITY.md must
+/// document.
+struct metric_descriptor {
+    const char* name;
+    const char* kind;      ///< counter | gauge | histogram | timer | timing
+    const char* backends;  ///< which backends/layers emit it
+    const char* help;
+};
+
+/// Every registered metric, name-sorted within each kind group.
+[[nodiscard]] std::span<const metric_descriptor> metric_catalogue() noexcept;
+
+}  // namespace plurality::obs

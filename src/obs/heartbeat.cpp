@@ -1,0 +1,58 @@
+#include "obs/heartbeat.h"
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+namespace plurality::obs {
+
+namespace {
+
+[[nodiscard]] double steady_seconds() {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+}  // namespace
+
+heartbeat::heartbeat(std::string label, std::uint64_t budget, double interval_seconds,
+                     std::FILE* out)
+    : label_(std::move(label)), budget_(budget), interval_(interval_seconds), out_(out) {
+    started_ = steady_seconds();
+    last_emit_ = started_;
+}
+
+void heartbeat::tick(std::uint64_t interactions, std::size_t occupied) {
+    if (interval_ > 0.0 && steady_seconds() - last_emit_ < interval_) return;
+    emit(interactions, occupied, false);
+}
+
+void heartbeat::finish(std::uint64_t interactions, std::size_t occupied) {
+    emit(interactions, occupied, true);
+}
+
+void heartbeat::emit(std::uint64_t interactions, std::size_t occupied, bool final_line) {
+    const double now = steady_seconds();
+    const double elapsed = now - started_;
+    const double done = static_cast<double>(interactions);
+    const double rate = elapsed > 0.0 ? done / elapsed : 0.0;
+    std::fprintf(out_, "progress %s: %.3g interactions", label_.c_str(), done);
+    const bool bounded = budget_ != std::numeric_limits<std::uint64_t>::max() && budget_ > 0;
+    if (bounded && !final_line) {
+        std::fprintf(out_, " (%.1f%%)", 100.0 * done / static_cast<double>(budget_));
+    }
+    std::fprintf(out_, ", %.3g i/s, %zu occupied", rate, occupied);
+    if (final_line) {
+        std::fprintf(out_, ", done in %.2fs\n", elapsed);
+    } else if (bounded && rate > 0.0) {
+        const double remaining = (static_cast<double>(budget_) - done) / rate;
+        std::fprintf(out_, ", eta %.0fs\n", remaining);
+    } else {
+        std::fprintf(out_, "\n");
+    }
+    std::fflush(out_);
+    last_emit_ = now;
+}
+
+}  // namespace plurality::obs

@@ -1,0 +1,51 @@
+// Progress heartbeat for long runs: a rate-limited stderr line fed from the
+// convergence loop's observer hook.
+//
+// `plurality_run --progress` wires one of these per trial into
+// `sim::converge`'s observer (see scenario.h's drive); every observer call
+// costs one interaction-count read and, at most once per interval, a
+// steady_clock read and an fprintf.  The stream carries interactions done,
+// instantaneous throughput, occupied-state count and — when the interaction
+// budget is finite — percent complete and a rate-extrapolated ETA.  A final
+// completion line always fires, so even runs shorter than one interval emit
+// something greppable.
+//
+// The heartbeat writes to a FILE* (stderr by default, injectable for tests)
+// and never touches the result documents: progress is operator output, not
+// data.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace plurality::obs {
+
+class heartbeat {
+public:
+    /// `budget` is the interaction cap the loop runs under
+    /// (UINT64_MAX = unbounded: no percent/ETA).  `interval_seconds <= 0`
+    /// emits on every tick (test hook).
+    heartbeat(std::string label, std::uint64_t budget, double interval_seconds,
+              std::FILE* out = stderr);
+
+    /// Observer hook: emits one line if `interval_seconds` elapsed since the
+    /// last emission (or always, for non-positive intervals).
+    void tick(std::uint64_t interactions, std::size_t occupied);
+
+    /// Emits the final completion line (idempotence not required; callers
+    /// fire it once, after the convergence loop returns).
+    void finish(std::uint64_t interactions, std::size_t occupied);
+
+private:
+    void emit(std::uint64_t interactions, std::size_t occupied, bool final_line);
+
+    std::string label_;
+    std::uint64_t budget_;
+    double interval_;
+    std::FILE* out_;
+    double started_ = 0.0;    ///< steady-clock seconds at construction
+    double last_emit_ = 0.0;  ///< steady-clock seconds of the last line
+};
+
+}  // namespace plurality::obs

@@ -1,0 +1,95 @@
+#include "obs/sinks.h"
+
+#include <ostream>
+#include <string>
+
+#include "util/json.h"
+
+namespace plurality::obs {
+
+namespace {
+
+void write_named_values(util::json_writer& w, const char* section, const snapshot& snap,
+                        sample_kind kind) {
+    w.key(section).begin_object();
+    for (const auto& s : snap.samples()) {
+        if (s.kind == kind) w.key(s.name).value(s.value);
+    }
+    w.end_object();
+}
+
+/// Upper bound (inclusive) of log2 bucket b: values v with bit_width(v) == b
+/// satisfy v <= 2^b - 1.
+[[nodiscard]] std::uint64_t bucket_upper_bound(std::size_t b) noexcept {
+    return b >= 64 ? ~0ull : (std::uint64_t{1} << b) - 1;
+}
+
+}  // namespace
+
+void write_count_sections(util::json_writer& w, const snapshot& snap) {
+    write_named_values(w, "counters", snap, sample_kind::counter);
+    write_named_values(w, "gauges", snap, sample_kind::gauge);
+    w.key("histograms").begin_object();
+    for (const auto& s : snap.samples()) {
+        if (s.kind != sample_kind::histogram) continue;
+        w.key(s.name).begin_object();
+        w.key("count").value(s.count);
+        w.key("sum").value(s.sum);
+        w.key("buckets").begin_object();
+        for (std::size_t b = 0; b < s.buckets.size(); ++b) {
+            if (s.buckets[b] == 0) continue;
+            w.key(std::to_string(b)).value(s.buckets[b]);
+        }
+        w.end_object();
+        w.end_object();
+    }
+    w.end_object();
+}
+
+void write_timing_section(util::json_writer& w, const snapshot& snap) {
+    w.key("phase_seconds").begin_object();
+    for (const auto& s : snap.samples()) {
+        if (s.kind == sample_kind::timer) w.key(s.name).value(s.seconds);
+    }
+    w.end_object();
+}
+
+void write_prometheus(std::ostream& os, const snapshot& snap, std::string_view labels) {
+    const std::string label_text{labels};
+    for (const auto& s : snap.samples()) {
+        const std::string name = "plurality_" + s.name;
+        switch (s.kind) {
+            case sample_kind::counter:
+            case sample_kind::gauge:
+                os << "# TYPE " << name
+                   << (s.kind == sample_kind::counter ? " counter\n" : " gauge\n");
+                os << name << label_text << ' ' << s.value << '\n';
+                break;
+            case sample_kind::timer:
+                os << "# TYPE " << name << " gauge\n";
+                os << name << label_text << ' ' << util::json_number(s.seconds) << '\n';
+                break;
+            case sample_kind::histogram: {
+                os << "# TYPE " << name << " histogram\n";
+                // Cumulative-`le` series over the nonzero log2 buckets.
+                const std::string le_prefix =
+                    label_text.empty()
+                        ? name + "_bucket{le=\""
+                        : name + "_bucket" +
+                              label_text.substr(0, label_text.size() - 1) + ",le=\"";
+                std::uint64_t cumulative = 0;
+                for (std::size_t b = 0; b < s.buckets.size(); ++b) {
+                    if (s.buckets[b] == 0) continue;
+                    cumulative += s.buckets[b];
+                    os << le_prefix << bucket_upper_bound(b) << "\"} " << cumulative << '\n';
+                }
+                os << le_prefix << "+Inf\"} " << s.count << '\n';
+                os << name << "_count" << label_text << ' ' << s.count << '\n';
+                os << name << "_sum" << label_text << ' ' << s.sum << '\n';
+                break;
+            }
+        }
+    }
+}
+
+}  // namespace plurality::obs

@@ -1,0 +1,42 @@
+// Metric sinks: render a snapshot as JSON object sections (for the
+// deterministic report and the metrics sidecar) or as a Prometheus-style
+// text exposition.
+//
+// The JSON sink is split along the determinism boundary on purpose:
+// `write_count_sections` emits only count-valued kinds (counters, gauges,
+// histograms — byte-identical across --threads) and is what the main
+// plurality_run document embeds; `write_timing_section` emits the
+// wall-clock timers and exists only for the sidecar
+// (scenario/metrics_report.h).  Keeping the two behind separate entry
+// points makes "timing leaked into the deterministic report" a structural
+// impossibility rather than a reviewed convention.
+#pragma once
+
+#include <iosfwd>
+#include <string_view>
+
+#include "obs/snapshot.h"
+
+namespace plurality::util {
+class json_writer;
+}
+
+namespace plurality::obs {
+
+/// Writes "counters": {...}, "gauges": {...}, "histograms": {...} into the
+/// writer's current object — count-valued samples only, in snapshot order.
+/// Histograms appear as {"count", "sum", "buckets": {"<b>": n, ...}} with
+/// bucket key b meaning values in [2^(b-1), 2^b) (b = 0: the value 0).
+void write_count_sections(util::json_writer& w, const snapshot& snap);
+
+/// Writes "phase_seconds": {...} (every timer sample) into the writer's
+/// current object.  Sidecar-only.
+void write_timing_section(util::json_writer& w, const snapshot& snap);
+
+/// Prometheus text exposition of every sample (timers become `gauge`
+/// metrics; histograms become cumulative-`le` histogram series).  Metric
+/// names get a "plurality_" prefix; `labels` is a pre-rendered label set
+/// like `{backend="leap",scenario="epidemic/broadcast"}` or empty.
+void write_prometheus(std::ostream& os, const snapshot& snap, std::string_view labels);
+
+}  // namespace plurality::obs

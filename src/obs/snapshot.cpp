@@ -1,0 +1,82 @@
+#include "obs/snapshot.h"
+
+#include <algorithm>
+
+namespace plurality::obs {
+
+void snapshot::add_counter(std::string_view name, std::uint64_t value) {
+    sample s;
+    s.name = name;
+    s.kind = sample_kind::counter;
+    s.value = value;
+    samples_.push_back(std::move(s));
+}
+
+void snapshot::add_gauge(std::string_view name, std::uint64_t value) {
+    sample s;
+    s.name = name;
+    s.kind = sample_kind::gauge;
+    s.value = value;
+    samples_.push_back(std::move(s));
+}
+
+void snapshot::add_histogram(std::string_view name, const log2_histogram& hist) {
+    sample s;
+    s.name = name;
+    s.kind = sample_kind::histogram;
+    const auto& buckets = hist.buckets();
+    std::size_t top = buckets.size();
+    while (top > 0 && buckets[top - 1] == 0) --top;
+    s.buckets.assign(buckets.begin(), buckets.begin() + static_cast<std::ptrdiff_t>(top));
+    s.count = hist.count();
+    s.sum = hist.sum();
+    samples_.push_back(std::move(s));
+}
+
+void snapshot::add_timer(std::string_view name, double seconds) {
+    sample s;
+    s.name = name;
+    s.kind = sample_kind::timer;
+    s.seconds = seconds;
+    samples_.push_back(std::move(s));
+}
+
+void snapshot::merge_from(const snapshot& other) {
+    for (const auto& incoming : other.samples_) {
+        auto it = std::find_if(samples_.begin(), samples_.end(), [&](const sample& s) {
+            return s.name == incoming.name;
+        });
+        if (it == samples_.end()) {
+            samples_.push_back(incoming);
+            continue;
+        }
+        switch (incoming.kind) {
+            case sample_kind::counter:
+                it->value += incoming.value;
+                break;
+            case sample_kind::gauge:
+                it->value = std::max(it->value, incoming.value);
+                break;
+            case sample_kind::histogram:
+                if (incoming.buckets.size() > it->buckets.size())
+                    it->buckets.resize(incoming.buckets.size(), 0);
+                for (std::size_t i = 0; i < incoming.buckets.size(); ++i)
+                    it->buckets[i] += incoming.buckets[i];
+                it->count += incoming.count;
+                it->sum += incoming.sum;
+                break;
+            case sample_kind::timer:
+                it->seconds += incoming.seconds;
+                break;
+        }
+    }
+}
+
+const sample* snapshot::find(std::string_view name) const noexcept {
+    for (const auto& s : samples_) {
+        if (s.name == name) return &s;
+    }
+    return nullptr;
+}
+
+}  // namespace plurality::obs

@@ -1,0 +1,70 @@
+// Metric snapshots: the uniform sample list a backend's `collect_metrics`
+// appends to and the sinks (obs/sinks.h) render.
+//
+// A snapshot is taken once, at the end of a trial — collection is cold-path
+// by design, so samples are plain named values, not live handles.  Trials
+// aggregate by name-matched merge (scenario/runner.cpp) with kind-specific
+// rules: counters and histograms sum, gauges take the max, timers sum their
+// seconds.  Because every trial of a (scenario, backend) pair emits the same
+// samples in the same order, the merged snapshot's layout — and, for
+// count-valued kinds, its values — is deterministic and thread-count
+// independent.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace plurality::obs {
+
+enum class sample_kind : std::uint8_t {
+    counter,    ///< monotonic count; merge: sum
+    gauge,      ///< level; merge: max
+    histogram,  ///< log2 buckets + count + sum; merge: element-wise sum
+    timer       ///< wall seconds; merge: sum (timing-only sinks)
+};
+
+/// True for kinds whose values are deterministic per seed and belong in the
+/// byte-identical report; false for wall-clock kinds (sidecar timing only).
+[[nodiscard]] constexpr bool is_count_valued(sample_kind kind) noexcept {
+    return kind != sample_kind::timer;
+}
+
+/// One named measurement.  Which fields are meaningful depends on `kind`:
+/// counter/gauge use `value`; histogram uses `buckets`/`count`/`sum`; timer
+/// uses `seconds`.
+struct sample {
+    std::string name;
+    sample_kind kind = sample_kind::counter;
+    std::uint64_t value = 0;
+    std::vector<std::uint64_t> buckets;  ///< index = bit_width(v); trailing zeros trimmed
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    double seconds = 0.0;
+};
+
+/// An append-only list of samples with name-matched merging.
+class snapshot {
+public:
+    void add_counter(std::string_view name, std::uint64_t value);
+    void add_gauge(std::string_view name, std::uint64_t value);
+    void add_histogram(std::string_view name, const log2_histogram& hist);
+    void add_timer(std::string_view name, double seconds);
+
+    /// Folds `other` into this snapshot: same-name samples merge by kind
+    /// (sum / max / element-wise sum / sum); unseen names append in
+    /// `other`'s order.  Merging an empty snapshot copies `other`.
+    void merge_from(const snapshot& other);
+
+    [[nodiscard]] const sample* find(std::string_view name) const noexcept;
+    [[nodiscard]] const std::vector<sample>& samples() const noexcept { return samples_; }
+    [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+
+private:
+    std::vector<sample> samples_;
+};
+
+}  // namespace plurality::obs

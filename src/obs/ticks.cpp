@@ -1,0 +1,39 @@
+#include "obs/metrics.h"
+
+namespace plurality::obs {
+
+#if defined(__x86_64__)
+namespace {
+
+/// One-shot TSC calibration against steady_clock over a short busy window.
+/// ~2 ms is enough for <1% error, which is plenty for phase *attribution*
+/// (the deterministic report never carries these numbers).
+double calibrate_tsc() {
+    using clock = std::chrono::steady_clock;
+    const auto wall_start = clock::now();
+    const std::uint64_t tick_start = now_ticks();
+    const auto deadline = wall_start + std::chrono::milliseconds(2);
+    while (clock::now() < deadline) {
+        // busy-wait; the window is tiny and runs once per process
+    }
+    const std::uint64_t tick_end = now_ticks();
+    const std::chrono::duration<double> elapsed = clock::now() - wall_start;
+    const double seconds = elapsed.count();
+    if (seconds <= 0.0) return 1e9;  // clock misbehaving; pretend ns ticks
+    return static_cast<double>(tick_end - tick_start) / seconds;
+}
+
+}  // namespace
+#endif
+
+double ticks_per_second() {
+#if defined(__x86_64__)
+    static const double tps = calibrate_tsc();
+    return tps;
+#else
+    using period = std::chrono::steady_clock::period;
+    return static_cast<double>(period::den) / static_cast<double>(period::num);
+#endif
+}
+
+}  // namespace plurality::obs

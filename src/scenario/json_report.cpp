@@ -2,14 +2,13 @@
 
 #include <ostream>
 
+#include "obs/sinks.h"
 #include "sim/rng.h"
 #include "util/json.h"
 
 namespace plurality::scenario {
 
-namespace {
-
-void write_params(util::json_writer& w, const scenario_params& p) {
+void write_params_object(util::json_writer& w, const scenario_params& p) {
     w.key("params").begin_object();
     w.key("n").value(p.n);
     w.key("k").value(p.k);
@@ -22,6 +21,8 @@ void write_params(util::json_writer& w, const scenario_params& p) {
     w.key("time_budget").value(p.time_budget);
     w.end_object();
 }
+
+namespace {
 
 void write_metrics(util::json_writer& w, const char* key, const std::vector<metric>& metrics) {
     w.key(key).begin_object();
@@ -40,7 +41,7 @@ void write_json_report(std::ostream& os, const any_scenario& s, const scenario_p
     w.key("scenario").value(s.name());
     w.key("family").value(s.family());
     w.key("description").value(s.description());
-    write_params(w, params);
+    write_params_object(w, params);
     w.key("base_seed").value(base_seed);
     w.key("backend").value(backend_name(backend));
 
@@ -75,6 +76,17 @@ void write_json_report(std::ostream& os, const any_scenario& s, const scenario_p
     w.key("total_interactions").value(summary.total_interactions);
     write_metrics(w, "mean_metrics", summary.mean_metrics);
     w.end_object();
+
+    // Backend instrumentation, merged over all trials.  Count-valued
+    // sections only: the timing half of the snapshot is quarantined in the
+    // metrics sidecar (scenario/metrics_report.h) so this document stays a
+    // pure function of (scenario, params, trials, base_seed, backend).
+    // Omitted entirely when the library was built with PLURALITY_OBS=0.
+    if (!summary.observed.empty()) {
+        w.key("metrics").begin_object();
+        obs::write_count_sections(w, summary.observed);
+        w.end_object();
+    }
 
     w.end_object();
 }

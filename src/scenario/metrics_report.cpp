@@ -1,0 +1,50 @@
+#include "scenario/metrics_report.h"
+
+#include <ostream>
+#include <string>
+
+#include "obs/sinks.h"
+#include "scenario/json_report.h"
+#include "util/json.h"
+
+namespace plurality::scenario {
+
+void write_metrics_report(std::ostream& os, const any_scenario& s, const scenario_params& params,
+                          std::uint64_t base_seed, const scenario_run_result& result,
+                          backend_kind backend) {
+    util::json_writer w(os);
+    w.begin_object();
+    w.key("schema").value(metrics_report_schema);
+    w.key("scenario").value(s.name());
+    w.key("family").value(s.family());
+    write_params_object(w, params);
+    w.key("base_seed").value(base_seed);
+    w.key("backend").value(backend_name(backend));
+    w.key("trials").value(static_cast<std::uint64_t>(result.summary.trials));
+
+    w.key("deterministic").begin_object();
+    obs::write_count_sections(w, result.summary.observed);
+    w.end_object();
+
+    w.key("timing").begin_object();
+    obs::write_timing_section(w, result.summary.observed);
+    w.key("trial_wall_seconds_total").value(result.summary.trial_wall_seconds_total);
+    w.key("wall_seconds").value(result.wall_seconds);
+    w.key("threads").value(static_cast<std::uint64_t>(result.threads));
+    w.key("thread_utilization").value(result.thread_utilization);
+    w.end_object();
+
+    w.end_object();
+}
+
+void write_prometheus_report(std::ostream& os, const any_scenario& s,
+                             const scenario_run_result& result, backend_kind backend) {
+    std::string labels = "{scenario=\"";
+    labels += s.name();
+    labels += "\",backend=\"";
+    labels += backend_name(backend);
+    labels += "\"}";
+    obs::write_prometheus(os, result.summary.observed, labels);
+}
+
+}  // namespace plurality::scenario

@@ -1,5 +1,7 @@
 #include "scenario/runner.h"
 
+#include <chrono>
+
 namespace plurality::scenario {
 
 scenario_run_summary summarize_outcomes(const std::vector<scenario_outcome>& outcomes) {
@@ -15,6 +17,8 @@ scenario_run_summary summarize_outcomes(const std::vector<scenario_outcome>& out
         }
         if (out.correct) ++summary.correct;
         summary.total_interactions += out.interactions;
+        summary.observed.merge_from(out.observed);
+        summary.trial_wall_seconds_total += out.wall_seconds;
         if (metric_sums.empty()) metric_sums.resize(out.metrics.size(), 0.0);
         for (std::size_t m = 0; m < out.metrics.size() && m < metric_sums.size(); ++m) {
             metric_sums[m] += out.metrics[m].value;
@@ -34,12 +38,24 @@ scenario_run_summary summarize_outcomes(const std::vector<scenario_outcome>& out
 scenario_run_result run_scenario_trials(const any_scenario& s, const scenario_params& params,
                                         std::size_t trials, std::uint64_t base_seed,
                                         const sim::trial_executor& executor,
-                                        backend_kind backend) {
+                                        backend_kind backend, const run_options& options) {
+    run_options per_trial = options;
+    per_trial.trace_csv = nullptr;  // tracing is single-run only (see runner.h)
+
     scenario_run_result result;
-    result.outcomes = executor.map(trials, base_seed, [&s, &params, backend](std::uint64_t seed) {
-        return s.run(params, seed, backend);
-    });
+    const auto wall_start = std::chrono::steady_clock::now();
+    result.outcomes =
+        executor.map(trials, base_seed, [&s, &params, backend, &per_trial](std::uint64_t seed) {
+            return s.run(params, seed, backend, per_trial);
+        });
+    const auto wall_end = std::chrono::steady_clock::now();
     result.summary = summarize_outcomes(result.outcomes);
+    result.wall_seconds = std::chrono::duration<double>(wall_end - wall_start).count();
+    result.threads = executor.threads() == 0 ? 1 : executor.threads();
+    if (result.wall_seconds > 0.0) {
+        result.thread_utilization = result.summary.trial_wall_seconds_total /
+                                    (result.wall_seconds * static_cast<double>(result.threads));
+    }
     return result;
 }
 

@@ -25,16 +25,30 @@ struct scenario_run_summary {
     analysis::summary_stats time_stats;  ///< parallel time over converged trials
     std::uint64_t total_interactions = 0;
     std::vector<metric> mean_metrics;  ///< per-metric mean over all trials
+    /// Per-trial instrumentation merged in index order (counters and
+    /// histograms sum, gauges take the max, timers sum — see
+    /// obs/snapshot.h).  Count-valued samples inherit the determinism
+    /// contract: pure function of (scenario, params, trials, base_seed,
+    /// backend), independent of the thread count.
+    obs::snapshot observed;
+    double trial_wall_seconds_total = 0.0;  ///< sum of per-trial wall times
 
     [[nodiscard]] double success_rate() const noexcept {
         return trials == 0 ? 0.0 : static_cast<double>(correct) / static_cast<double>(trials);
     }
 };
 
-/// Per-trial outcomes (index == trial == seed stream) plus their summary.
+/// Per-trial outcomes (index == trial == seed stream) plus their summary and
+/// the execution-level (non-deterministic) measurements of the whole batch.
 struct scenario_run_result {
     std::vector<scenario_outcome> outcomes;
     scenario_run_summary summary;
+    double wall_seconds = 0.0;        ///< wall-clock duration of the whole batch
+    std::size_t threads = 1;          ///< worker threads the executor fanned out over
+    /// Aggregate-trial-seconds / (wall_seconds × threads): 1.0 = perfectly
+    /// parallel, → 0 when workers idle.  0 when the batch was too fast to
+    /// time.
+    double thread_utilization = 0.0;
 };
 
 /// Folds outcomes (in index order) into a summary.  Exposed so tests can
@@ -47,9 +61,13 @@ struct scenario_run_result {
 /// scenario.h's backend_kind).  The determinism contract extends naturally:
 /// the summary is a pure function of (scenario, params, trials, base_seed,
 /// backend).
+///
+/// `options` carries recording hooks only (progress heartbeat interval and
+/// label); it never alters outcomes.  Tracing is a single-run affair —
+/// `options.trace_csv` is ignored here (use any_scenario::run_traced).
 [[nodiscard]] scenario_run_result run_scenario_trials(
     const any_scenario& s, const scenario_params& params, std::size_t trials,
     std::uint64_t base_seed, const sim::trial_executor& executor,
-    backend_kind backend = backend_kind::agent);
+    backend_kind backend = backend_kind::agent, const run_options& options = {});
 
 }  // namespace plurality::scenario

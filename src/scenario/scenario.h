@@ -40,6 +40,7 @@
 // convergence loop, tracing, trial fan-out, JSON reporting — is shared.
 #pragma once
 
+#include <chrono>
 #include <concepts>
 #include <cstdint>
 #include <iosfwd>
@@ -51,6 +52,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/heartbeat.h"
+#include "obs/snapshot.h"
 #include "sim/batch_census_simulator.h"
 #include "sim/census_simulator.h"
 #include "sim/convergence.h"
@@ -131,6 +134,30 @@ struct scenario_outcome {
     double parallel_time = 0.0;
     std::uint64_t interactions = 0;
     std::vector<metric> metrics;  ///< final values of the scenario's extractors
+    /// Backend instrumentation read out at the end of the trial (src/obs/).
+    /// Count-valued samples are deterministic per (seed, backend); timer
+    /// samples are wall-clock measurements and must never enter the
+    /// deterministic report (see scenario/json_report.cpp).  Empty when the
+    /// library is built with PLURALITY_OBS=0.
+    obs::snapshot observed;
+    double wall_seconds = 0.0;  ///< wall-clock duration of the trial
+};
+
+/// Per-trial execution options orthogonal to the scenario parameters: they
+/// alter what a run *records or reports*, never its trajectory.  The outcome
+/// is byte-identical for any combination of these options.
+struct run_options {
+    /// Metric-sampling cadence in parallel-time units when tracing (<= 0
+    /// selects the recorder default of 1.0).  Only read when `trace_csv` is
+    /// set.
+    double trace_cadence = 0.0;
+    /// Destination for the traced metric series as CSV; nullptr = no trace.
+    std::ostream* trace_csv = nullptr;
+    /// Minimum seconds between progress heartbeat lines; <= 0 disables the
+    /// heartbeat entirely (the default).
+    double progress_interval = 0.0;
+    /// Label prefixed to heartbeat lines (scenario name, trial index, ...).
+    std::string progress_label;
 };
 
 /// The structured shape a concrete scenario implementation must have.
@@ -204,7 +231,15 @@ public:
     /// `(seed, backend)`.
     [[nodiscard]] scenario_outcome run(const scenario_params& params, std::uint64_t seed,
                                        backend_kind backend = backend_kind::agent) const {
-        return model_->run(params, seed, 0.0, nullptr, backend);
+        return model_->run(params, seed, backend, {});
+    }
+
+    /// Runs one trial with explicit recording options (tracing, progress
+    /// heartbeat).  Options never change the trajectory: the outcome equals
+    /// `run` with the same `(params, seed, backend)`.
+    [[nodiscard]] scenario_outcome run(const scenario_params& params, std::uint64_t seed,
+                                       backend_kind backend, const run_options& options) const {
+        return model_->run(params, seed, backend, options);
     }
 
     /// Runs one trial while sampling every metric each `cadence` parallel
@@ -214,16 +249,18 @@ public:
     [[nodiscard]] scenario_outcome run_traced(const scenario_params& params, std::uint64_t seed,
                                               double cadence, std::ostream& csv,
                                               backend_kind backend = backend_kind::agent) const {
-        return model_->run(params, seed, cadence, &csv, backend);
+        run_options options;
+        options.trace_cadence = cadence;
+        options.trace_csv = &csv;
+        return model_->run(params, seed, backend, options);
     }
 
 private:
     struct iface {
         virtual ~iface() = default;
         [[nodiscard]] virtual scenario_outcome run(const scenario_params& params,
-                                                   std::uint64_t seed, double cadence,
-                                                   std::ostream* csv,
-                                                   backend_kind backend) const = 0;
+                                                   std::uint64_t seed, backend_kind backend,
+                                                   const run_options& options) const = 0;
     };
 
     template <class S>
@@ -231,8 +268,8 @@ private:
         explicit model(S spec) : spec_(std::move(spec)) {}
 
         [[nodiscard]] scenario_outcome run(const scenario_params& params, std::uint64_t seed,
-                                           double cadence, std::ostream* csv,
-                                           backend_kind backend) const override {
+                                           backend_kind backend,
+                                           const run_options& options) const override {
             if (params.n < 2)
                 throw std::invalid_argument("scenario requires a population of n >= 2");
             S spec = spec_;  // fresh per-run state
@@ -242,41 +279,54 @@ private:
             if (backend == backend_kind::census) {
                 sim::census_simulator<typename S::protocol_t, typename S::codec_t> sim{
                     std::move(protocol), spec.make_census(params, setup), run_seed};
-                return drive(spec, params, sim, cadence, csv);
+                return drive(spec, params, sim, options);
             }
             if (backend == backend_kind::batch) {
                 // The batch backend consumes the same census builders — no
                 // n-sized vector is ever materialized on this path either.
                 sim::batch_census_simulator<typename S::protocol_t, typename S::codec_t> sim{
                     std::move(protocol), spec.make_census(params, setup), run_seed};
-                return drive(spec, params, sim, cadence, csv);
+                return drive(spec, params, sim, options);
             }
             if (backend == backend_kind::leap) {
                 sim::leap_census_simulator<typename S::protocol_t, typename S::codec_t> sim{
                     std::move(protocol), spec.make_census(params, setup), run_seed};
-                return drive(spec, params, sim, cadence, csv);
+                return drive(spec, params, sim, options);
             }
             sim::simulation<typename S::protocol_t> sim{std::move(protocol),
                                                         spec.make_population(params, setup),
                                                         run_seed};
-            return drive(spec, params, sim, cadence, csv);
+            return drive(spec, params, sim, options);
         }
 
         /// The backend-agnostic part of a trial: budget derivation, the
-        /// convergence loop, optional tracing, and outcome packaging.
+        /// convergence loop, optional tracing and heartbeat, wall timing,
+        /// instrumentation readout, and outcome packaging.
         template <class SimT>
         [[nodiscard]] static scenario_outcome drive(S& spec, const scenario_params& params,
-                                                    SimT& sim, double cadence,
-                                                    std::ostream* csv) {
+                                                    SimT& sim, const run_options& options) {
             const double budget = params.time_budget > 0.0 ? params.time_budget
                                                            : spec.time_budget(params);
             const auto max_interactions =
                 sim::interaction_budget(budget, sim.population_size());
             const auto done = [&spec](const SimT& s) { return spec.converged(s); };
 
+            // The heartbeat lives outside the trace branch so both plain and
+            // traced runs can stream progress; it writes to stderr only and
+            // never perturbs the trajectory or the recorded series.
+            std::optional<obs::heartbeat> pulse;
+            if (options.progress_interval > 0.0)
+                pulse.emplace(options.progress_label, max_interactions,
+                              options.progress_interval);
+            const auto observe = [&pulse](const SimT& s) {
+                if (pulse) pulse->tick(s.interactions(), sim::occupied_states_or_zero(s));
+            };
+
+            const auto wall_start = std::chrono::steady_clock::now();
             sim::convergence_outcome conv;
-            if (csv != nullptr) {
-                trace::recorder<SimT> rec(cadence > 0.0 ? cadence : 1.0);
+            if (options.trace_csv != nullptr) {
+                trace::recorder<SimT> rec(options.trace_cadence > 0.0 ? options.trace_cadence
+                                                                      : 1.0);
                 // All series share one metrics evaluation per sample point
                 // (keyed by the interaction count, which is unique per
                 // sample) instead of re-scanning the configuration per
@@ -297,11 +347,17 @@ private:
                     });
                 }
                 conv = sim::converge(sim, done, max_interactions, 0,
-                                     [&rec](const SimT& s) { rec.maybe_sample(s); });
-                rec.write_csv(*csv);
+                                     [&rec, &observe](const SimT& s) {
+                                         rec.maybe_sample(s);
+                                         observe(s);
+                                     });
+                rec.write_csv(*options.trace_csv);
             } else {
-                conv = sim::converge(sim, done, max_interactions);
+                conv = sim::converge(sim, done, max_interactions, 0, observe);
             }
+            const auto wall_end = std::chrono::steady_clock::now();
+            if (pulse)
+                pulse->finish(sim.interactions(), sim::occupied_states_or_zero(sim));
 
             scenario_outcome out;
             out.converged = conv.converged;
@@ -309,6 +365,8 @@ private:
             out.interactions = conv.interactions;
             out.correct = conv.converged && spec.correct(sim);
             out.metrics = spec.metrics(sim);
+            out.wall_seconds = std::chrono::duration<double>(wall_end - wall_start).count();
+            sim.collect_metrics(out.observed);
             return out;
         }
 

@@ -60,6 +60,9 @@
 #include <utility>
 #include <vector>
 
+#include "obs/catalogue.h"
+#include "obs/metrics.h"
+#include "obs/snapshot.h"
 #include "sim/census_simulator.h"
 #include "sim/delta_outcomes.h"
 #include "sim/group_delta.h"
@@ -74,7 +77,13 @@ namespace plurality::sim {
 /// `steppable_simulation` / `visit_states` contracts as the other two
 /// backends, so `sim::converge`, `trace::recorder` and the sim::view
 /// helpers work unchanged.
-template <protocol P, census_codec<typename P::agent_t> Codec>
+/// `Obs` selects the observability policy (obs/metrics.h): the default
+/// follows the PLURALITY_OBS build option; `obs::disabled` compiles every
+/// instrument out (the overhead bench instantiates both).  Phase timers are
+/// run-granular — a handful of clock reads per collision-free run, never
+/// per interaction.
+template <protocol P, census_codec<typename P::agent_t> Codec,
+          class Obs = obs::default_policy>
 class batch_census_simulator {
 public:
     using agent_t = typename P::agent_t;
@@ -156,6 +165,34 @@ public:
     /// Exposes the random stream (same contract as the other backends).
     [[nodiscard]] rng& random() noexcept { return gen_; }
 
+    /// Appends this run's metrics (end-of-trial cold path; see src/obs/).
+    /// Counters, gauges and histograms are deterministic per seed; the
+    /// phase timers are wall-clock and surface only in the sidecar's timing
+    /// section.
+    void collect_metrics(obs::snapshot& out) const {
+        if constexpr (Obs::active) {
+            out.add_counter(obs::m_interactions, interactions_);
+            out.add_counter(obs::m_rng_words, gen_.words());
+            out.add_counter(obs::m_runs, metrics_.runs.value());
+            out.add_counter(obs::m_collisions, metrics_.collisions.value());
+            out.add_counter(obs::m_delta_deterministic, metrics_.delta_deterministic.value());
+            out.add_counter(obs::m_delta_grouped, metrics_.delta_grouped.value());
+            out.add_counter(obs::m_delta_fallback, metrics_.delta_fallback.value());
+            out.add_counter(obs::m_table_hits, delta_table_.hits());
+            out.add_counter(obs::m_table_misses, delta_table_.misses());
+            out.add_gauge(obs::m_occupied_hwm, metrics_.occupied_hwm.value());
+            out.add_gauge(obs::m_reachable_states, slots_.size());
+            out.add_histogram(obs::m_run_length, metrics_.run_length);
+            // Timers sample every obs::phase_sample_every-th run; scale the
+            // accumulated seconds back up to estimate the full phase time.
+            constexpr auto scale = static_cast<double>(obs::phase_sample_every);
+            out.add_timer(obs::m_phase_run_length, metrics_.t_run_length.seconds() * scale);
+            out.add_timer(obs::m_phase_margins, metrics_.t_margins.seconds() * scale);
+            out.add_timer(obs::m_phase_table, metrics_.t_table.seconds() * scale);
+            out.add_timer(obs::m_phase_collision, metrics_.t_collision.seconds() * scale);
+        }
+    }
+
 private:
     struct slot {
         agent_t state;
@@ -164,12 +201,38 @@ private:
         bool listed = false;  ///< currently present in occupied_list_
     };
 
+    /// Policy-selected instruments; empty (and free) under obs::disabled.
+    struct instrument_set {
+        [[no_unique_address]] typename Obs::counter_t runs;
+        [[no_unique_address]] typename Obs::counter_t collisions;
+        [[no_unique_address]] typename Obs::counter_t delta_deterministic;
+        [[no_unique_address]] typename Obs::counter_t delta_grouped;
+        [[no_unique_address]] typename Obs::counter_t delta_fallback;
+        [[no_unique_address]] typename Obs::gauge_t occupied_hwm;
+        [[no_unique_address]] typename Obs::histogram_t run_length;
+        [[no_unique_address]] typename Obs::timer_t t_run_length;
+        [[no_unique_address]] typename Obs::timer_t t_margins;
+        [[no_unique_address]] typename Obs::timer_t t_table;
+        [[no_unique_address]] typename Obs::timer_t t_collision;
+    };
+
     /// One batch: a collision-free run truncated at `budget`, plus the
     /// colliding interaction when the run ended naturally.  Returns the
     /// number of interactions executed (>= 1).
     std::uint64_t run_batch(std::uint64_t budget) {
+        // Phase boundaries are one cheap clock read each, sampled on every
+        // `obs::phase_sample_every`-th run (collect_metrics scales the sum
+        // back up); under obs::disabled `timed` is constant false and
+        // everything folds away.
+        const bool timed =
+            Obs::active && metrics_.runs.value() % obs::phase_sample_every == 0;
+        const std::uint64_t t0 = timed ? obs::now_ticks() : 0;
         const auto run = dist::sample_collision_free_run(gen_, population_, budget);
         const std::uint64_t pairs = run.length;
+        metrics_.runs.add(1);
+        metrics_.run_length.record(pairs);
+        const std::uint64_t t1 = timed ? obs::now_ticks() : 0;
+        if (timed) metrics_.t_run_length.add_ticks(t1 - t0);
 
         // Snapshot the occupied census slots: all group draws below are over
         // the pre-run counts.  `occupied_list_` tracks occupied slots
@@ -217,6 +280,9 @@ private:
             pcount_[j] -= pinit_[j];  // now the responder counts
         }
 
+        const std::uint64_t t2 = timed ? obs::now_ticks() : 0;
+        if (timed) metrics_.t_margins.add_ticks(t2 - t1);
+
         // Pair the halves: a uniform random bijection, sampled as a
         // sequentially-conditioned contingency table, one row per initiator
         // state; δ applies per cell.
@@ -232,12 +298,21 @@ private:
             }
         }
 
-        if (run.collided) execute_collision(2 * pairs);
+        const std::uint64_t t3 = timed ? obs::now_ticks() : 0;
+        if (timed) metrics_.t_table.add_ticks(t3 - t2);
+
+        if (run.collided) {
+            metrics_.collisions.add(1);
+            execute_collision(2 * pairs);
+        }
 
         // Re-deposit every participant's post-state.
         for (const auto& g : used_.groups()) {
             if (g.count > 0) deposit(g.state, g.count);
         }
+
+        const std::uint64_t t4 = timed ? obs::now_ticks() : 0;
+        if (timed) metrics_.t_collision.add_ticks(t4 - t3);
 
         const std::uint64_t executed = pairs + (run.collided ? 1 : 0);
         interactions_ += executed;
@@ -256,6 +331,7 @@ private:
                 protocol_.interact(u, v, gen_);
                 used_add(u, count);
                 used_add(v, count);
+                metrics_.delta_deterministic.add(count);
                 return;
             }
         }
@@ -265,6 +341,7 @@ private:
                 delta_table_.apply_group(
                     entry, gen_, count,
                     [this](const agent_t& state, std::uint64_t c) { used_add(state, c); });
+                metrics_.delta_grouped.add(count);
                 return;
             }
         }
@@ -275,6 +352,7 @@ private:
             used_add(u, 1);
             used_add(v, 1);
         }
+        metrics_.delta_fallback.add(count);
     }
 
     /// Executes the interaction that ended the run (shared three-case
@@ -332,6 +410,7 @@ private:
         entry.count = static_cast<std::uint64_t>(static_cast<std::int64_t>(entry.count) + delta);
         if (entry.count > 0 && !was_occupied) {
             ++occupied_;
+            metrics_.occupied_hwm.record_max(occupied_);
             if (!entry.listed) {
                 entry.listed = true;
                 occupied_list_.push_back(static_cast<std::uint32_t>(index));
@@ -359,6 +438,7 @@ private:
     std::vector<std::uint64_t> row_;           ///< one contingency-table row
     detail::used_group_set<agent_t, key_t> used_;  ///< post-run states of participants
     detail::delta_outcome_table<P, Codec> delta_table_;  ///< randomized-δ group path cache
+    [[no_unique_address]] instrument_set metrics_;
 };
 
 }  // namespace plurality::sim

@@ -34,6 +34,9 @@
 #include <utility>
 #include <vector>
 
+#include "obs/catalogue.h"
+#include "obs/metrics.h"
+#include "obs/snapshot.h"
 #include "sim/rng.h"
 #include "sim/simulation.h"
 
@@ -105,7 +108,11 @@ template <class Codec, class Agent>
 /// per-agent storage), configuration inspection goes through
 /// `visit_states(fn)` — shared with `simulation` — and the weighted helpers
 /// of sim/population_view.h.
-template <protocol P, census_codec<typename P::agent_t> Codec>
+/// `Obs` selects the observability policy (obs/metrics.h): the default
+/// follows the PLURALITY_OBS build option; `obs::disabled` compiles every
+/// instrument out (the overhead bench instantiates both).
+template <protocol P, census_codec<typename P::agent_t> Codec,
+          class Obs = obs::default_policy>
 class census_simulator {
 public:
     using agent_t = typename P::agent_t;
@@ -149,6 +156,7 @@ public:
         withdraw(initiator);
         const std::size_t responder = locate(gen_.next_below(population_ - 1));
         withdraw(responder);
+        metrics_.descents.add(2);
         agent_t u = slots_[initiator].state;
         agent_t v = slots_[responder].state;
         protocol_.interact(u, v, gen_);
@@ -228,11 +236,29 @@ public:
     /// Exposes the random stream (same contract as simulation::random).
     [[nodiscard]] rng& random() noexcept { return gen_; }
 
+    /// Appends this run's metrics (end-of-trial cold path; see src/obs/).
+    /// All values are deterministic per seed.
+    void collect_metrics(obs::snapshot& out) const {
+        if constexpr (Obs::active) {
+            out.add_counter(obs::m_interactions, interactions_);
+            out.add_counter(obs::m_rng_words, gen_.words());
+            out.add_counter(obs::m_fenwick_descents, metrics_.descents.value());
+            out.add_gauge(obs::m_occupied_hwm, metrics_.occupied_hwm.value());
+            out.add_gauge(obs::m_reachable_states, slots_.size());
+        }
+    }
+
 private:
     struct slot {
         agent_t state;
         key_t key{};  ///< Codec::encode(state), cached for the step fast path
         std::uint64_t count = 0;
+    };
+
+    /// Policy-selected instruments; empty (and free) under obs::disabled.
+    struct instrument_set {
+        [[no_unique_address]] typename Obs::counter_t descents;
+        [[no_unique_address]] typename Obs::gauge_t occupied_hwm;
     };
 
     /// Adds `count` agents in `state`, creating its slot on first sight.
@@ -247,7 +273,10 @@ private:
             if (slots_.size() == capacity_) grow_tree(capacity_ * 2);
             slots_.push_back({state, key, 0});
         }
-        if (slots_[it->second].count == 0 && count > 0) ++occupied_;
+        if (slots_[it->second].count == 0 && count > 0) {
+            ++occupied_;
+            metrics_.occupied_hwm.record_max(occupied_);
+        }
         slots_[it->second].count += count;
         tree_add(it->second, static_cast<std::int64_t>(count));
     }
@@ -258,7 +287,10 @@ private:
     void redeposit(const agent_t& state, std::size_t origin) {
         const key_t key = Codec::encode(state);
         if (key == slots_[origin].key) {
-            if (slots_[origin].count == 0) ++occupied_;
+            if (slots_[origin].count == 0) {
+                ++occupied_;
+                metrics_.occupied_hwm.record_max(occupied_);
+            }
             ++slots_[origin].count;
             tree_add(origin, 1);
             return;
@@ -329,6 +361,7 @@ private:
     std::size_t capacity_ = 0;         ///< tree capacity (power of two)
     std::uint64_t population_ = 0;     ///< invariant: Σ slot counts
     std::uint64_t interactions_ = 0;
+    [[no_unique_address]] instrument_set metrics_;
 };
 
 }  // namespace plurality::sim

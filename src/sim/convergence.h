@@ -50,6 +50,18 @@ struct convergence_outcome {
 template <class T, class Sim>
 concept convergence_observer = std::invocable<T&, const Sim&>;
 
+/// Occupied-state count of a census-space backend, or 0 for backends that do
+/// not track one (the agent backend).  Lets generic observers — e.g. the
+/// progress heartbeat — report occupancy without constraining the backend.
+template <class Sim>
+[[nodiscard]] std::size_t occupied_states_or_zero(const Sim& sim) noexcept {
+    if constexpr (requires { { sim.occupied_states() } -> std::convertible_to<std::size_t>; }) {
+        return sim.occupied_states();
+    } else {
+        return 0;
+    }
+}
+
 /// What a simulation backend must provide to be driven by `converge`: batch
 /// stepping plus the three progress accessors the loop and its callers read.
 template <class S>

@@ -216,7 +216,11 @@ public:
     /// `lookup` call.
     [[nodiscard]] const entry& lookup(const P& proto, const agent_t& u, const agent_t& v) {
         const pair_key key{Codec::encode(u), Codec::encode(v)};
-        if (const auto it = cache_.find(key); it != cache_.end()) return it->second;
+        if (const auto it = cache_.find(key); it != cache_.end()) {
+            ++hits_;
+            return it->second;
+        }
+        ++misses_;
         if (cache_.size() >= max_entries) cache_.clear();
         entry e;
         if (proto.delta_outcomes(u, v, scratch_)) {
@@ -280,6 +284,14 @@ public:
         }
     }
 
+    /// Cache hit/miss counts over every `lookup` (at most one lookup per
+    /// group application, so the increments are cold relative to the draws
+    /// they guard; they stay plain members rather than policy-gated
+    /// instruments, and the backends export them as `outcome_table_*`
+    /// metrics when observability is compiled in).
+    [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+    [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+
     /// Approximate heap footprint (metrics-time only; walks the cache).
     [[nodiscard]] std::size_t memory_bytes() const noexcept {
         std::size_t bytes =
@@ -306,6 +318,8 @@ private:
     };
 
     std::unordered_map<pair_key, entry, pair_key_hash> cache_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
     std::vector<delta_outcome<agent_t>> scratch_;  ///< raw enumeration output
     std::vector<pair_key> merge_keys_;             ///< post-state keys during merge
     std::vector<std::uint64_t> split_;             ///< multinomial output

@@ -51,8 +51,16 @@ public:
         state_[0] ^= state_[3];
         state_[2] ^= t;
         state_[3] = rotl(state_[3], 45);
+        ++words_;
         return result;
     }
+
+    /// Raw 64-bit words drawn so far — the cheapest deterministic probe of a
+    /// run's randomness consumption (rejection retries included), exported
+    /// as the `rng_words_total` metric.  The increment is one add next to
+    /// xoshiro's nine ALU ops; it is always on because the count must not
+    /// depend on whether observability was compiled in.
+    [[nodiscard]] std::uint64_t words() const noexcept { return words_; }
 
     /// Uniform integer in [0, bound).  Unbiased (Lemire's method with
     /// rejection).  `bound` must be nonzero.
@@ -91,6 +99,7 @@ private:
     }
 
     std::array<std::uint64_t, 4> state_{};
+    std::uint64_t words_ = 0;
 };
 
 /// Derives an independent child seed from a base seed and a stream index.

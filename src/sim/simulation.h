@@ -20,6 +20,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/catalogue.h"
+#include "obs/snapshot.h"
 #include "sim/rng.h"
 #include "sim/scheduler.h"
 
@@ -114,6 +116,17 @@ public:
     /// Exposes the random stream, e.g. for protocols whose setup needs
     /// additional randomness tied to the same run.
     [[nodiscard]] rng& random() noexcept { return gen_; }
+
+    /// Appends this run's metrics (end-of-trial cold path; see src/obs/).
+    /// The agent backend keeps no per-step instruments — its hot loop is the
+    /// protocol δ itself — so it reports the two universal deterministic
+    /// counts every backend shares.
+    void collect_metrics(obs::snapshot& out) const {
+        if constexpr (obs::default_policy::active) {
+            out.add_counter(obs::m_interactions, interactions_);
+            out.add_counter(obs::m_rng_words, gen_.words());
+        }
+    }
 
 private:
     P protocol_;

@@ -59,8 +59,16 @@ public:
     [[nodiscard]] const std::vector<double>& times() const noexcept { return times_; }
     [[nodiscard]] const std::vector<double>& column(std::size_t i) const { return columns_.at(i); }
 
-    /// Writes "time,series1,series2,..." CSV.
+    /// Writes the series as CSV: a `#`-prefixed comment block documenting
+    /// the column units, then the "parallel_time,series1,..." header row,
+    /// then one row per sample.  Parsers that skip comment lines (pandas'
+    /// `comment='#'`, gnuplot) see a plain headed CSV.
     void write_csv(std::ostream& os) const {
+        os << "# plurality trace: one row per sample on the cadence grid "
+              "(cadence "
+           << cadence_ << " parallel-time units, first row at t = 0)\n";
+        os << "# parallel_time: interactions / n (dimensionless); remaining "
+              "columns: scenario metric values at that instant\n";
         os << "parallel_time";
         for (const auto& s : series_) os << ',' << s.name;
         os << '\n';

@@ -7,6 +7,7 @@
 #include <cmath>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "scenario/json_report.h"
 #include "scenario/registry.h"
@@ -197,6 +198,48 @@ TEST(JsonReport, DocumentParsesAndCarriesSchema) {
           "\"success_rate\"", "\"mean_metrics\"", "\"total_interactions\""}) {
         EXPECT_NE(doc.find(required), std::string::npos) << required;
     }
+}
+
+TEST(JsonReport, DeterministicDocumentCarriesNoTimingKeys) {
+    // The main document must stay a pure function of (scenario, params,
+    // trials, base_seed, backend): anything wall-clock-valued belongs in the
+    // metrics sidecar only.  Scan every key for the timing vocabulary — a
+    // timer sample or wall/thread field leaking in here is a determinism
+    // bug, not a formatting choice.
+    using namespace plurality;
+    const auto* s = scenario::scenario_registry::instance().find("epidemic/broadcast");
+    ASSERT_NE(s, nullptr);
+    scenario::scenario_params params;
+    params.n = 256;
+    const sim::trial_executor executor{1};
+    const auto result = scenario::run_scenario_trials(*s, params, 3, 5, executor);
+
+    std::ostringstream os;
+    scenario::write_json_report(os, *s, params, 5, result);
+    const std::string doc = os.str();
+
+    // Collect every object key: the token between a quote pair that is
+    // followed by ':'.
+    std::vector<std::string> keys;
+    for (std::size_t pos = 0; (pos = doc.find('"', pos)) != std::string::npos;) {
+        const std::size_t end = doc.find('"', pos + 1);
+        ASSERT_NE(end, std::string::npos);
+        if (end + 1 < doc.size() && doc[end + 1] == ':') {
+            keys.push_back(doc.substr(pos + 1, end - pos - 1));
+        }
+        pos = end + 1;
+    }
+    ASSERT_FALSE(keys.empty());
+    for (const auto& key : keys) {
+        for (const char* banned : {"seconds", "wall", "util", "thread", "phase_"}) {
+            EXPECT_EQ(key.find(banned), std::string::npos)
+                << "timing-valued key '" << key << "' in the deterministic report";
+        }
+    }
+    // ... while "time_budget" (a parameter) and "parallel_time" (simulated
+    // time) are fine and must still be present.
+    EXPECT_NE(doc.find("\"time_budget\""), std::string::npos);
+    EXPECT_NE(doc.find("\"parallel_time\""), std::string::npos);
 }
 
 TEST(JsonReport, EmptyTrialListStillValid) {

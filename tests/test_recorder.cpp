@@ -128,6 +128,42 @@ TEST(Recorder, CsvOutput) {
     EXPECT_NE(csv.find(",1.5,2.5"), std::string::npos);
 }
 
+TEST(Recorder, CsvCommentHeaderDocumentsUnitsBeforeTheHeaderRow) {
+    auto s = make_sim(64);
+    plurality::trace::recorder<sim_t> rec(1.0);
+    rec.add_series("a", [](const sim_t&) { return 1.0; });
+    rec.maybe_sample(s);
+    std::ostringstream oss;
+    rec.write_csv(oss);
+
+    // Every line before the header row is a '#' comment (so comment-skipping
+    // CSV parsers see a plain headed file), the comments name the units, and
+    // no comment follows the header.
+    std::istringstream lines(oss.str());
+    std::string line;
+    std::size_t comments = 0;
+    while (std::getline(lines, line) && line.starts_with("#")) ++comments;
+    EXPECT_GE(comments, 1u);
+    EXPECT_EQ(line, "parallel_time,a");
+    EXPECT_NE(oss.str().find("parallel-time units"), std::string::npos);
+    while (std::getline(lines, line)) EXPECT_FALSE(line.starts_with("#")) << line;
+}
+
+TEST(Recorder, SampleExactlyOnTheGridBoundaryFiresAndAdvancesTheGrid) {
+    // maybe_sample at exactly t = cadence is "at the due point", not before
+    // it: the sample fires and the next due point moves strictly ahead, so
+    // an immediate re-check at the same time does not double-sample.
+    auto s = make_sim(64);
+    plurality::trace::recorder<sim_t> rec(1.0);
+    rec.add_series("t", [](const sim_t& sim) { return sim.parallel_time(); });
+    EXPECT_TRUE(rec.maybe_sample(s));   // t = 0 anchor
+    s.run_for(64);                      // exactly one parallel-time unit
+    EXPECT_TRUE(rec.maybe_sample(s));   // t = 1.0, on the boundary
+    EXPECT_FALSE(rec.maybe_sample(s));  // same instant: already taken
+    ASSERT_EQ(rec.samples(), 2u);
+    EXPECT_DOUBLE_EQ(rec.times()[1], 1.0);
+}
+
 TEST(Recorder, MultipleSeriesStayAligned) {
     auto s = make_sim(64);
     plurality::trace::recorder<sim_t> rec(0.5);

@@ -135,12 +135,16 @@ TEST(ScenarioRunner, TracedRunMatchesPlainRunAndAnchorsAtTimeZero) {
     EXPECT_EQ(plain.interactions, traced.interactions);
 
     // First CSV row is the t = 0 sample even though the cadence (100) far
-    // exceeds the check interval (1 parallel-time unit).
+    // exceeds the check interval (1 parallel-time unit).  The header row
+    // follows the `#` comment block documenting the column units.
     const std::string text = csv.str();
-    const auto header_end = text.find('\n');
-    ASSERT_NE(header_end, std::string::npos);
-    EXPECT_EQ(text.substr(0, header_end), "parallel_time,discrepancy,total_load");
-    EXPECT_EQ(text.substr(header_end + 1, 2), "0,");
+    std::istringstream lines(text);
+    std::string line;
+    while (std::getline(lines, line) && line.starts_with("#")) {
+    }
+    EXPECT_EQ(line, "parallel_time,discrepancy,total_load");
+    ASSERT_TRUE(std::getline(lines, line));
+    EXPECT_EQ(line.substr(0, 2), "0,");
 }
 
 TEST(ScenarioBackends, ParseBackendAcceptsExactlyTheAdvertisedList) {
